@@ -1,0 +1,25 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, asserts
+the *shape* of the result (who wins, by roughly what factor) and writes
+a human-readable artefact under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: pathlib.Path, name: str, lines) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text("\n".join(str(line) for line in lines) + "\n")

@@ -1,0 +1,47 @@
+"""E1 (§6.1): xfstests robustness — native vs qemu-blk vs vmsh-blk.
+
+Paper: 619 "quick" tests; all pass natively; the same three
+quota-reporting cases (0.5%) fail on both qemu-blk and vmsh-blk, so
+vmsh-blk has no regressions w.r.t. qemu-blk.
+"""
+
+from conftest import write_report
+
+from repro.bench.xfstests import EXPECTED_TEST_COUNT
+from repro.bench.xfstests_env import compare_environments
+
+
+def test_e1_xfstests(benchmark, results_dir):
+    results = benchmark.pedantic(
+        compare_environments, rounds=1, iterations=1
+    )
+
+    lines = [f"E1  xfstests 'quick' group ({EXPECTED_TEST_COUNT} tests)", ""]
+    for kind, res in results.items():
+        passed, failed, skipped = res.counts
+        lines.append(
+            f"{kind:10s} passed={passed:3d} failed={failed} skipped={skipped} "
+            f"failing: {', '.join(res.failed_ids()) or '-'}"
+        )
+    lines += [
+        "",
+        "paper: all pass natively; 3 quota tests (0.5%) fail on both",
+        "qemu-blk and vmsh-blk; some tests auto-skip.",
+    ]
+    write_report(results_dir, "e1_xfstests", lines)
+
+    native, qemu, vmsh = (
+        results["native"], results["qemu-blk"], results["vmsh-blk"]
+    )
+    total = sum(native.counts)
+    assert total == EXPECTED_TEST_COUNT
+    # Natively everything that applies passes.
+    assert native.counts[1] == 0
+    # The same three quota failures on both virtio devices.
+    assert len(qemu.failed_ids()) == 3
+    assert qemu.failed_ids() == vmsh.failed_ids()
+    assert all("quota-report" in t for t in vmsh.failed_ids())
+    # Headline claim: no regressions of vmsh-blk w.r.t. qemu-blk.
+    assert set(vmsh.failed_ids()) <= set(qemu.failed_ids())
+    benchmark.extra_info["native_failed"] = native.counts[1]
+    benchmark.extra_info["vmsh_failed"] = vmsh.counts[1]

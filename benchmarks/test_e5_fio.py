@@ -1,0 +1,94 @@
+"""E5 (§6.3-B/C, Figure 6): fio throughput and IOPS across devices.
+
+Shapes asserted (paper values in parentheses):
+
+* attaching VMSH via ioregionfd leaves qemu-blk untouched (identical);
+* wrap_syscall degrades qemu-blk: ~1.5x tput, ~6x IOPS;
+* vmsh-blk is ~halved vs qemu-blk in both metrics, either dispatch;
+* native IOPS >= 2x any virtualised config;
+* qemu-9p IOPS ~7.8x below qemu-blk.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.bench.harness import make_env
+from repro.bench.workloads.fio import iops_job, run_fio, throughput_job
+from repro.units import MiB
+
+ENVS = (
+    "native",
+    "qemu-blk",
+    "qemu-blk+vmsh-ioregionfd",
+    "qemu-blk+vmsh-wrap_syscall",
+    "vmsh-blk-ioregionfd",
+    "vmsh-blk-wrap_syscall",
+    "qemu-9p",
+)
+
+
+def _run_all():
+    table = {}
+    for name in ENVS:
+        env = make_env(name, disk_size=256 * MiB)
+        tput_r = run_fio(env, throughput_job("read"))
+        env.drop_caches()
+        tput_w = run_fio(env, throughput_job("write"))
+        env.drop_caches()
+        iops_r = run_fio(env, iops_job("read"))
+        env.drop_caches()
+        iops_w = run_fio(env, iops_job("write"))
+        table[name] = {
+            "tput_read": tput_r.value,
+            "tput_write": tput_w.value,
+            "iops_read": iops_r.detail["iops"],
+            "iops_write": iops_w.detail["iops"],
+        }
+    return table
+
+
+def test_e5_fio_throughput_and_iops(benchmark, results_dir):
+    table = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    lines = ["E5  fio across device configurations (Fig. 6)", ""]
+    lines.append(f"{'config':30s} {'R MB/s':>10} {'W MB/s':>10} {'R IOPS':>10} {'W IOPS':>10}")
+    for name in ENVS:
+        row = table[name]
+        lines.append(
+            f"{name:30s} {row['tput_read']:10.1f} {row['tput_write']:10.1f} "
+            f"{row['iops_read']:10.0f} {row['iops_write']:10.0f}"
+        )
+    q = table["qemu-blk"]
+    lines += [
+        "",
+        f"qemu-blk under wrap_syscall: tput /{q['tput_read'] / table['qemu-blk+vmsh-wrap_syscall']['tput_read']:.1f}, "
+        f"IOPS /{q['iops_read'] / table['qemu-blk+vmsh-wrap_syscall']['iops_read']:.1f} "
+        "(paper: /1.5 and /6)",
+        f"vmsh-blk vs qemu-blk: tput x{table['vmsh-blk-ioregionfd']['tput_read'] / q['tput_read']:.2f}, "
+        f"IOPS x{table['vmsh-blk-ioregionfd']['iops_read'] / q['iops_read']:.2f} (paper: ~x0.5 both)",
+        f"qemu-9p IOPS: /{q['iops_read'] / table['qemu-9p']['iops_read']:.1f} vs qemu-blk (paper: /7.8)",
+    ]
+    write_report(results_dir, "e5_fio", lines)
+
+    # (1) ioregionfd attach: zero interference with the guest's device.
+    assert table["qemu-blk+vmsh-ioregionfd"] == table["qemu-blk"]
+    # (2) wrap_syscall interference on the guest's own device.
+    wrap = table["qemu-blk+vmsh-wrap_syscall"]
+    assert 1.3 <= q["tput_read"] / wrap["tput_read"] <= 2.5
+    assert 4.0 <= q["iops_read"] / wrap["iops_read"] <= 8.0
+    # (3) vmsh-blk roughly halved, both dispatch mechanisms usable.
+    for mode in ("ioregionfd", "wrap_syscall"):
+        vmsh = table[f"vmsh-blk-{mode}"]
+        assert 0.25 <= vmsh["tput_read"] / q["tput_read"] <= 0.7
+        assert 0.2 <= vmsh["iops_read"] / q["iops_read"] <= 0.7
+    # (4) native IOPS at least 2x any virtualised configuration.
+    for name in ENVS[1:]:
+        assert table["native"]["iops_read"] >= 2 * table[name]["iops_read"]
+    # (5) qemu-9p IOPS collapse.
+    assert 5.0 <= q["iops_read"] / table["qemu-9p"]["iops_read"] <= 11.0
+    benchmark.extra_info["vmsh_tput_ratio"] = round(
+        table["vmsh-blk-ioregionfd"]["tput_read"] / q["tput_read"], 3
+    )
+    benchmark.extra_info["p9_iops_factor"] = round(
+        q["iops_read"] / table["qemu-9p"]["iops_read"], 2
+    )

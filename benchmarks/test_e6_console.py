@@ -1,0 +1,40 @@
+"""E6 (§6.3-D, Figure 7): console responsiveness.
+
+Paper: the VMSH console round-trips in ~0.9 ms, on par with SSH and an
+order of magnitude below the ~13 ms human-perception threshold.
+"""
+
+from conftest import write_report
+
+from repro.bench.latency import HUMAN_PERCEPTION_NS, run_console_comparison
+from repro.units import MSEC
+
+
+def test_e6_console_latency(benchmark, results_dir):
+    results = benchmark.pedantic(
+        run_console_comparison, kwargs={"rounds": 32}, rounds=1, iterations=1
+    )
+    by_seat = {r.seat: r for r in results}
+
+    lines = ["E6  console round-trip latency (Fig. 7)", ""]
+    for r in results:
+        lines.append(f"{r.seat:14s} {r.mean_ms:6.3f} ms")
+    lines += [
+        "",
+        f"human perception threshold: {HUMAN_PERCEPTION_NS / MSEC:.0f} ms",
+        "paper: vmsh-console ~0.9 ms, similar to ssh, >>10x below 13 ms",
+    ]
+    write_report(results_dir, "e6_console", lines)
+
+    vmsh = by_seat["vmsh-console"]
+    ssh = by_seat["ssh"]
+    native = by_seat["native"]
+    # ~0.9 ms, like ssh.
+    assert 0.5 * MSEC <= vmsh.mean_ns <= 1.5 * MSEC
+    assert 0.6 <= vmsh.mean_ns / ssh.mean_ns <= 1.6
+    # Both dominated by the shell, both above the native pts floor.
+    assert vmsh.mean_ns > native.mean_ns
+    # An order of magnitude below human perception.
+    assert vmsh.mean_ns * 10 <= HUMAN_PERCEPTION_NS
+    benchmark.extra_info["vmsh_ms"] = round(vmsh.mean_ms, 3)
+    benchmark.extra_info["ssh_ms"] = round(ssh.mean_ms, 3)

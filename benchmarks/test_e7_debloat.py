@@ -1,0 +1,43 @@
+"""E7 (§6.4, Figure 8): VM image size reduction, top-40 Docker images.
+
+Paper: reductions between 50% and 97%, average 60%; exactly 3 images
+(single static Go binaries) reduce by less than 10%; every app still
+works on its minimal image.
+"""
+
+from conftest import write_report
+
+from repro.image.debloat import debloat_top40, summarize
+from repro.testbed import Testbed
+
+
+def test_e7_image_debloat(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: debloat_top40(Testbed()), rounds=1, iterations=1
+    )
+    stats = summarize(results)
+
+    lines = ["E7  top-40 Docker image debloat (Fig. 8)", ""]
+    for r in sorted(results, key=lambda r: r.reduction):
+        lines.append(
+            f"{r.image:14s} {r.size_before >> 20:5d} MB -> {r.size_after >> 20:5d} MB  "
+            f"(-{r.reduction * 100:4.1f}%)  works={r.app_still_works}"
+        )
+    lines += [
+        "",
+        f"mean reduction: {stats['mean_reduction'] * 100:.1f}%   "
+        f"range: {stats['min_reduction'] * 100:.1f}%..{stats['max_reduction'] * 100:.1f}%   "
+        f"<10%: {stats['below_10pct']} images",
+        "paper: average 60%, range 50-97% (plus 3 static-Go images <10%)",
+    ]
+    write_report(results_dir, "e7_debloat", lines)
+
+    assert stats["count"] == 40
+    assert 0.55 <= stats["mean_reduction"] <= 0.65          # ~60%
+    assert stats["below_10pct"] == 3                         # the Go images
+    dynamic = [r for r in results if r.reduction >= 0.10]
+    assert all(0.45 <= r.reduction <= 0.97 for r in dynamic)
+    assert stats["all_apps_work"]
+    benchmark.extra_info["mean_reduction_pct"] = round(
+        stats["mean_reduction"] * 100, 1
+    )

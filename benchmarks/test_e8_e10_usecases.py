@@ -1,0 +1,100 @@
+"""E8-E10 (§6.5): the three real-world use-cases."""
+
+from conftest import write_report
+
+from repro.testbed import Testbed
+from repro.units import SEC
+from repro.usecases.rescue import RescueService, verify_password_reset
+from repro.usecases.scanner import SecurityScanner, alpine_installed_db
+from repro.usecases.serverless import ServerlessDebugger, VHivePlatform
+
+
+def _serverless_scenario():
+    testbed = Testbed()
+    platform = VHivePlatform(testbed)
+    platform.deploy("thumbnailer", lambda p: {"thumb": p["image"]["w"] // 2})
+    platform.invoke("thumbnailer", {"image": {"w": 800}})
+    platform.invoke("thumbnailer", {"oops": True})          # -> ERROR log
+    debugger = ServerlessDebugger(platform)
+    session = debugger.debug_shell()
+    motd = session.session.console.run_command("cat /etc/motd").output
+    testbed.clock.advance(10 * SEC)
+    survived_scale_down = platform.scale_down() == []
+    session.close()
+    released = len(platform.scale_down()) == 1
+    return {
+        "error": session.error_log.message,
+        "motd": motd,
+        "pinned": survived_scale_down,
+        "released": released,
+        "attach_ms": session.session.report.attach_ns / 1e6,
+    }
+
+
+def test_e8_serverless_debug_shell(benchmark, results_dir):
+    outcome = benchmark.pedantic(_serverless_scenario, rounds=1, iterations=1)
+    write_report(results_dir, "e8_serverless", [
+        "E8  serverless debug shell (vHive + Firecracker)",
+        "",
+        f"faulty lambda log line : {outcome['error']}",
+        f"shell banner           : {outcome['motd']}",
+        f"pinned against scale-down while debugging: {outcome['pinned']}",
+        f"instance released after session close    : {outcome['released']}",
+        f"attach latency (virtual): {outcome['attach_ms']:.2f} ms",
+    ])
+    assert "KeyError" in outcome["error"]
+    assert "debug shell" in outcome["motd"]
+    assert outcome["pinned"] and outcome["released"]
+
+
+def _rescue_scenario():
+    testbed = Testbed()
+    hv = testbed.launch_qemu()
+    report = RescueService(testbed.vmsh()).reset_password(hv, "root", "rescued!")
+    return report
+
+
+def test_e9_vm_rescue(benchmark, results_dir):
+    report = benchmark.pedantic(_rescue_scenario, rounds=1, iterations=1)
+    write_report(results_dir, "e9_rescue", [
+        "E9  agent-less VM rescue (chpasswd while running)",
+        "",
+        f"shell output : {report.shell_output}",
+        f"shadow entry : {report.shadow_entry[:40]}...",
+        f"VM stayed running: {report.vm_stayed_running}",
+    ])
+    assert verify_password_reset(report, "root")
+
+
+def _scanner_scenario():
+    testbed = Testbed()
+    hv = testbed.launch_qemu(root_files={
+        "/lib/apk/db": None,
+        "/lib/apk/db/installed": alpine_installed_db({
+            "openssl": "1.1.1k-r0",      # vulnerable
+            "busybox": "1.34.1-r2",      # vulnerable
+            "musl": "1.2.2-r3",          # fixed
+            "zlib": "1.2.12-r1",         # fixed
+            "alpine-baselayout": "3.2.0-r16",
+        }),
+    })
+    return SecurityScanner(testbed.vmsh()).scan(hv)
+
+
+def test_e10_package_scanner(benchmark, results_dir):
+    report = benchmark.pedantic(_scanner_scenario, rounds=1, iterations=1)
+    write_report(results_dir, "e10_scanner", [
+        "E10  agent-less Alpine package security scan",
+        "",
+        f"packages scanned: {report.packages_scanned}",
+        "findings:",
+        *[
+            f"  {v.package} {v.installed} -> fixed in {v.fixed} ({v.cve})"
+            for v in report.vulnerabilities
+        ],
+    ])
+    assert report.packages_scanned == 5
+    assert report.vulnerable_packages == ["busybox", "openssl"]
+    assert {v.cve for v in report.vulnerabilities} >= {
+        "CVE-2021-3711", "CVE-2021-42378",
+    }

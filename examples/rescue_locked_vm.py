@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Use-case #2 (§6.5): rescue a VM whose owner is locked out.
+
+A customer forgot their root password.  Existing provider workflows
+reboot the VM into a recovery image — losing all runtime state.  With
+VMSH the provider attaches a rescue image to the *running* VM and
+resets the password in place.
+
+Run:  python examples/rescue_locked_vm.py
+"""
+
+from repro.testbed import Testbed
+from repro.usecases.rescue import RescueService, verify_password_reset
+
+
+def main() -> None:
+    testbed = Testbed()
+
+    print("=== the customer's VM (running production workload) ===")
+    hypervisor = testbed.launch_qemu()
+    guest = hypervisor.guest
+    shadow_before = guest.kernel_vfs.read_file("/etc/shadow").decode()
+    print("shadow before:", shadow_before.splitlines()[0])
+    processes_before = [p.name for p in guest.processes.alive()]
+    print("guest processes:", processes_before)
+
+    print("\n=== provider-side rescue, no reboot, no agent ===")
+    service = RescueService(testbed.vmsh())
+    report = service.reset_password(hypervisor, "root", "correct-horse-battery")
+    print("rescue shell said:", report.shell_output)
+    print("shadow after:", report.shadow_entry[:50], "...")
+
+    print("\n=== verification ===")
+    ok = verify_password_reset(report, "root")
+    print("password replaced:", ok)
+    print("VM stayed running:", report.vm_stayed_running)
+    print(
+        "same processes alive:",
+        [p.name for p in guest.processes.alive() if p.name in processes_before],
+    )
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Use-case #3 (§6.5): agent-less package vulnerability scanning.
+
+Providers scan container images for CVEs as a service; VMSH extends
+that to VMs without installing anything in them.  The scanner attaches
+with an image that carries the Alpine security database, reads the
+guest's apk database through the overlay and reports vulnerable
+packages.
+
+Run:  python examples/security_scan.py
+"""
+
+from repro.testbed import Testbed
+from repro.usecases.scanner import SecurityScanner, alpine_installed_db
+
+
+def main() -> None:
+    testbed = Testbed()
+
+    print("=== an Alpine guest with a few stale packages ===")
+    installed = {
+        "alpine-baselayout": "3.2.0-r16",
+        "apk-tools": "2.12.5-r0",        # CVE-2021-36159
+        "busybox": "1.34.1-r2",          # CVE-2021-42378 / -42386
+        "musl": "1.2.2-r3",              # fixed
+        "openssl": "1.1.1k-r0",          # CVE-2021-3711 / -3712
+        "zlib": "1.2.12-r1",             # fixed
+    }
+    hypervisor = testbed.launch_qemu(root_files={
+        "/lib/apk/db": None,
+        "/lib/apk/db/installed": alpine_installed_db(installed),
+    })
+    for name, version in installed.items():
+        print(f"  {name}-{version}")
+
+    print("\n=== scanning via VMSH (no agent in the guest) ===")
+    scanner = SecurityScanner(testbed.vmsh())
+    report = scanner.scan(hypervisor)
+
+    print(f"scanned {report.packages_scanned} packages")
+    if not report.vulnerabilities:
+        print("no known vulnerabilities")
+    for vuln in report.vulnerabilities:
+        print(
+            f"  VULNERABLE {vuln.package}-{vuln.installed}: {vuln.cve} "
+            f"(fixed in {vuln.fixed})"
+        )
+    assert report.vulnerable_packages == ["apk-tools", "busybox", "openssl"]
+
+
+if __name__ == "__main__":
+    main()

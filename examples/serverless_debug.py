@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Use-case #1 (§6.5): debug a faulty lambda in a vHive-like stack.
+
+FaaS platforms are hard to debug: the developer never gets a shell in
+the microVM that runs their function.  This example deploys a function
+to a simulated vHive/Firecracker platform, triggers an error, then
+uses VMSH to drop an interactive debug shell into the *exact* microVM
+that served the failing request — pinned against scale-down while the
+developer investigates.
+
+Run:  python examples/serverless_debug.py
+"""
+
+from repro.testbed import Testbed
+from repro.units import SEC
+from repro.usecases.serverless import ServerlessDebugger, VHivePlatform
+
+
+def thumbnail_handler(payload: dict) -> dict:
+    image = payload["image"]             # KeyError if the field is missing
+    return {"thumbnail": f"{image['w'] // 4}x{image['h'] // 4}"}
+
+
+def main() -> None:
+    testbed = Testbed()
+    platform = VHivePlatform(testbed)
+
+    print("=== deploy + invoke ===")
+    platform.deploy("thumbnail", thumbnail_handler)
+    print("ok :", platform.invoke("thumbnail", {"image": {"w": 800, "h": 600}}))
+    print("bad:", platform.invoke("thumbnail", {"url": "https://broken"}))
+
+    print("\n=== platform logs ===")
+    for line in platform.logs:
+        print(" ", line)
+
+    print("\n=== attach a debug shell to the faulty instance ===")
+    debugger = ServerlessDebugger(platform)
+    debug = debugger.debug_shell()
+    print("error being debugged:", debug.error_log.message)
+    print("instance:", debug.instance.instance_id,
+          "(vmm pid", debug.instance.hypervisor.pid, ")")
+
+    console = debug.session.console
+    print("$ cat /etc/motd ->", console.run_command("cat /etc/motd").output)
+    print("$ ps ->")
+    for line in console.run_command("ps").output.splitlines():
+        print("   ", line)
+
+    print("\n=== scale-down protection ===")
+    testbed.clock.advance(10 * SEC)       # way past the idle timeout
+    print("scale-down while debugging:", platform.scale_down() or "nothing (pinned)")
+    debug.close()
+    print("scale-down after closing:  ", platform.scale_down())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""VMSH reproduction: hypervisor-agnostic guest overlays for VMs.
+
+A faithful, fully-simulated Python reimplementation of
+
+    Thalheim, Okelmann, Unnibhavi, Gouicem, Bhatotia:
+    "VMSH: Hypervisor-agnostic Guest Overlays for VMs", EuroSys 2022.
+
+Quick start::
+
+    from repro.testbed import Testbed
+
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    session = tb.vmsh().attach(hv.pid)
+    print(session.console.run_command("ls /").output)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,117 @@
+"""CPU architecture descriptors: x86-64 and the arm64 port.
+
+The paper's prototype "only support[s] the x86_64 architecture.  We
+have plans to port our system to arm64.  An architecture port would
+require to extend the system call injection, as well as register and
+page table handling." (§5)
+
+This module implements that port surface: everything arch-specific the
+side-loading pipeline touches — the register file (what the trampoline
+saves), the instruction-pointer and page-table-root registers, the
+kernel text/KASLR window, and the page-table walker/builder classes —
+is captured in an :class:`Arch` descriptor.  The rest of the stack is
+arch-agnostic and dispatches through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.units import GiB, MiB
+
+# x86-64 -----------------------------------------------------------------------
+
+X86_GP_REGISTERS: Tuple[str, ...] = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rsp", "rbp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+    "rip", "rflags",
+)
+X86_SREGS: Tuple[str, ...] = ("cr0", "cr3", "cr4", "efer", "gdt_base", "idt_base")
+
+# arm64 ------------------------------------------------------------------------
+
+ARM64_GP_REGISTERS: Tuple[str, ...] = tuple(
+    f"x{i}" for i in range(31)
+) + ("sp", "pc", "pstate")
+ARM64_SREGS: Tuple[str, ...] = (
+    "ttbr0_el1", "ttbr1_el1", "sctlr_el1", "tcr_el1", "mair_el1", "vbar_el1",
+)
+
+
+@dataclass(frozen=True)
+class Arch:
+    """Everything arch-specific in the side-load pipeline."""
+
+    name: str
+    gp_registers: Tuple[str, ...]
+    sregs: Tuple[str, ...]
+    ip_register: str                 # where execution resumes
+    sp_register: str
+    pt_root_sreg: str                # CR3 on x86, TTBR1_EL1 on arm64 (§4.1)
+    kernel_text_base: int
+    kernel_text_range: int
+    kaslr_align: int
+
+    @property
+    def kaslr_slots(self) -> int:
+        return self.kernel_text_range // self.kaslr_align
+
+    def kaslr_slot_to_vaddr(self, slot: int) -> int:
+        if not 0 <= slot < self.kaslr_slots:
+            raise ValueError(f"KASLR slot {slot} out of range for {self.name}")
+        return self.kernel_text_base + slot * self.kaslr_align
+
+    def walker(self, read_u64):
+        """Page-table walker over a ``read_u64(paddr)`` callback."""
+        if self.name == "x86_64":
+            from repro.mem.pagetable import PageTableWalker
+
+            return PageTableWalker(read_u64)
+        from repro.mem.pagetable_arm64 import Arm64PageTableWalker
+
+        return Arm64PageTableWalker(read_u64)
+
+    def builder(self, read_u64, write_u64, alloc_table_page):
+        if self.name == "x86_64":
+            from repro.mem.pagetable import PageTableBuilder
+
+            return PageTableBuilder(read_u64, write_u64, alloc_table_page)
+        from repro.mem.pagetable_arm64 import Arm64PageTableBuilder
+
+        return Arm64PageTableBuilder(read_u64, write_u64, alloc_table_page)
+
+
+X86_64 = Arch(
+    name="x86_64",
+    gp_registers=X86_GP_REGISTERS,
+    sregs=X86_SREGS,
+    ip_register="rip",
+    sp_register="rsp",
+    pt_root_sreg="cr3",
+    kernel_text_base=0xFFFFFFFF80000000,
+    kernel_text_range=1 * GiB,
+    kaslr_align=2 * MiB,
+)
+
+ARM64 = Arch(
+    name="arm64",
+    gp_registers=ARM64_GP_REGISTERS,
+    sregs=ARM64_SREGS,
+    ip_register="pc",
+    sp_register="sp",
+    pt_root_sreg="ttbr1_el1",
+    # The arm64 kernel image window (KASLR over the module/text region).
+    kernel_text_base=0xFFFF800010000000,
+    kernel_text_range=1 * GiB,
+    kaslr_align=2 * MiB,
+)
+
+ARCHES = {"x86_64": X86_64, "arm64": ARM64}
+
+
+def arch_by_name(name: str) -> Arch:
+    try:
+        return ARCHES[name]
+    except KeyError:
+        raise ValueError(f"unknown architecture {name!r}") from None

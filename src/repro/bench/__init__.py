@@ -1,0 +1,19 @@
+"""Benchmark harness and workload generators."""
+
+from repro.bench.harness import (
+    BenchEnv,
+    ENV_NAMES,
+    Measurement,
+    make_env,
+    ops_per_second,
+    throughput_mb_s,
+)
+
+__all__ = [
+    "BenchEnv",
+    "ENV_NAMES",
+    "Measurement",
+    "make_env",
+    "ops_per_second",
+    "throughput_mb_s",
+]

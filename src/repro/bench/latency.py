@@ -1,0 +1,103 @@
+"""Console responsiveness (§6.3-D, Figure 7, E6).
+
+"We measure the round-trip of a shell input by connecting one end of a
+pseudo-terminal seat (pts) to a shell.  We then use the other end to
+submit an echo command to the shell and measure the time elapsed until
+the echo response arrives."
+
+Three seats are compared: a native pts + local shell, an SSH session
+into the guest, and the VMSH console.  The human-perception reference
+is 13 ms per picture (Potter et al.), quoted by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.vmsh import VmshSession
+from repro.guestos.console import GuestShell, GuestTty
+from repro.guestos.process import GuestProcess
+from repro.guestos.vfs import MountNamespace
+from repro.testbed import Testbed
+from repro.units import MSEC
+
+HUMAN_PERCEPTION_NS = 13 * MSEC     # Potter et al. [91]
+
+
+@dataclass
+class LatencyResult:
+    seat: str
+    samples_ns: List[int]
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self.samples_ns) / len(self.samples_ns)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_ns / MSEC
+
+
+def measure_native(testbed: Testbed, rounds: int = 32) -> LatencyResult:
+    """A local pts connected to a local shell (the floor)."""
+    shell_process = GuestProcess("bash", MountNamespace())
+    shell = GuestShell(shell_process, costs=testbed.costs)
+    output: List[bytes] = []
+    tty = GuestTty(testbed.costs, write_out=output.append)
+    tty.connect_shell(shell)
+    samples = []
+    for i in range(rounds):
+        start = testbed.clock.now
+        tty.input_bytes(f"echo ping{i}\n".encode())
+        assert output and output[-1].startswith(f"ping{i}".encode())
+        samples.append(testbed.clock.now - start)
+    return LatencyResult("native", samples)
+
+
+def measure_ssh(testbed: Testbed, hypervisor, rounds: int = 32) -> LatencyResult:
+    """SSH into the guest: network RTT + sshd crypto + guest shell."""
+    guest = hypervisor.guest
+    shell_process = GuestProcess("sshd-session", guest.root_ns)
+    shell = GuestShell(shell_process, kernel=guest, costs=testbed.costs)
+    samples = []
+    costs = testbed.costs
+    for i in range(rounds):
+        start = testbed.clock.now
+        # Client -> sshd: one encrypted message over loopback + virtio-net.
+        costs.net_loopback_rtt()
+        costs.ssh_message()
+        costs.vmexit()              # virtio-net RX kick
+        costs.irq_inject()
+        costs.tty_turnaround()
+        reply = shell.execute(f"echo ping{i}")
+        assert reply == f"ping{i}"
+        # sshd -> client: encrypted response.
+        costs.ssh_message()
+        costs.vmexit()
+        costs.irq_inject()
+        samples.append(testbed.clock.now - start)
+    return LatencyResult("ssh", samples)
+
+
+def measure_vmsh_console(
+    testbed: Testbed, session: VmshSession, rounds: int = 32
+) -> LatencyResult:
+    """The VMSH console: pts -> virtqueues -> overlay shell -> pts."""
+    samples = []
+    for i in range(rounds):
+        result = session.console.run_command(f"echo ping{i}")
+        assert result.output == f"ping{i}", result.output
+        samples.append(result.latency_ns)
+    return LatencyResult("vmsh-console", samples)
+
+
+def run_console_comparison(rounds: int = 32):
+    """Figure 7: all three seats."""
+    testbed = Testbed()
+    hypervisor = testbed.launch_qemu()
+    session = testbed.vmsh().attach(hypervisor.pid)
+    native = measure_native(testbed, rounds)
+    ssh = measure_ssh(testbed, hypervisor, rounds)
+    vmsh = measure_vmsh_console(testbed, session, rounds)
+    return [native, ssh, vmsh]

@@ -1,0 +1,1 @@
+"""Workload generators for the paper's evaluation (§6)."""

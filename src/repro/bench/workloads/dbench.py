@@ -1,0 +1,44 @@
+"""DBENCH — the Samba file-server workload (§6.3, Figure 5).
+
+Replays a netbench-style operation mix (create/write/read/stat/
+unlink) for N simulated clients.  Mostly metadata and cached data, so
+qemu-blk and vmsh-blk behave almost identically on it.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchEnv, Measurement, throughput_mb_s
+from repro.sim.rng import stream
+
+OPS_PER_CLIENT = 120
+FILE_SIZE = 16 * 1024
+
+
+def run_dbench(env: BenchEnv, clients: int) -> Measurement:
+    root = f"{env.mountpoint}/dbench-{clients}"
+    rng = stream(f"dbench:{clients}")
+    env.vfs.makedirs(root)
+    nbytes = 0
+    with env.elapsed() as timer:
+        for client in range(clients):
+            cdir = f"{root}/client{client}"
+            env.vfs.mkdir(cdir)
+            live = []
+            for op in range(OPS_PER_CLIENT):
+                action = rng.random()
+                if action < 0.35 or not live:
+                    path = f"{cdir}/f{op}.dat"
+                    env.vfs.write_file(path, b"\xd8" * FILE_SIZE)
+                    live.append(path)
+                    nbytes += FILE_SIZE
+                elif action < 0.75:
+                    path = live[rng.randrange(len(live))]
+                    nbytes += len(env.vfs.read_file(path))
+                elif action < 0.9:
+                    env.vfs.stat(live[rng.randrange(len(live))])
+                else:
+                    env.vfs.unlink(live.pop(rng.randrange(len(live))))
+    env.fs.sync_all()
+    env.vfs.rmtree(root)
+    return Measurement(env.name, f"Dbench: {clients} Clients", "MB/s",
+                       throughput_mb_s(nbytes, timer.elapsed), timer.elapsed)

@@ -1,0 +1,121 @@
+"""fio — the Flexible I/O Tester (§6.3 B/C, Figure 6; rows in Figure 5).
+
+Matches the paper's configurations: libaio-style direct IO on the
+block path, sequential 256 KiB accesses for peak throughput, 4 KiB for
+peak IOPS, plus the buffered file-IO variants used against qemu-9p.
+Sizes are scaled for simulation but block sizes and access patterns
+are the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bench.harness import BenchEnv, Measurement, ops_per_second, throughput_mb_s
+from repro.guestos.vfs import O_CREAT, O_DIRECT, O_RDWR
+from repro.sim.rng import stream
+from repro.units import KiB, MiB
+
+
+@dataclass
+class FioJob:
+    """One fio job definition."""
+
+    block_size: int
+    total_bytes: int
+    pattern: str = "seq"        # "seq" | "rand"
+    direction: str = "read"     # "read" | "write"
+    direct: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            bs = f"{self.block_size // KiB}KB" if self.block_size < MiB else f"{self.block_size // MiB}MB"
+            io = "Direct" if self.direct else "File"
+            self.name = f"fio {self.pattern} {self.direction} {bs} ({io} IO)"
+
+
+def run_fio(env: BenchEnv, job: FioJob) -> Measurement:
+    """Run one fio job on the environment, measured in virtual time."""
+    vfs = env.vfs
+    path = f"{env.mountpoint}/fio.dat"
+    flags = {O_RDWR, O_CREAT}
+    if job.direct:
+        flags.add(O_DIRECT)
+
+    # Lay out the file (unmeasured, like fio's prep phase) — buffered,
+    # then synced, so reads have real data to find.
+    prep = vfs.open(path, {O_RDWR, O_CREAT})
+    chunk = b"\xa5" * (256 * KiB)
+    written = 0
+    while written < job.total_bytes:
+        take = min(len(chunk), job.total_bytes - written)
+        vfs.pwrite(prep, chunk[:take], written)
+        written += take
+    vfs.fsync(prep)
+    vfs.close(prep)
+    env.drop_caches()
+
+    offsets = _offsets(job)
+    payload = b"\x5a" * job.block_size
+    handle = vfs.open(path, flags)
+    ops = 0
+    with env.elapsed() as timer:
+        for offset in offsets:
+            if job.direction == "read":
+                data = vfs.pread(handle, job.block_size, offset)
+                if len(data) != job.block_size:
+                    raise AssertionError("fio short read")
+            else:
+                vfs.pwrite(handle, payload, offset)
+            ops += 1
+        if job.direction == "write" and not job.direct:
+            vfs.fsync(handle)
+    vfs.close(handle)
+    vfs.unlink(path)
+
+    elapsed = timer.elapsed
+    nbytes = ops * job.block_size
+    return Measurement(
+        env=env.name,
+        workload=job.name,
+        metric="MB/s",
+        value=throughput_mb_s(nbytes, elapsed),
+        elapsed_ns=elapsed,
+        detail={
+            "iops": ops_per_second(ops, elapsed),
+            "ops": ops,
+            "bytes": nbytes,
+        },
+    )
+
+
+def _offsets(job: FioJob):
+    count = job.total_bytes // job.block_size
+    if job.pattern == "seq":
+        return [i * job.block_size for i in range(count)]
+    rng = stream(f"fio:{job.name}:{job.total_bytes}")
+    slots = list(range(count))
+    rng.shuffle(slots)
+    return [slot * job.block_size for slot in slots]
+
+
+# The paper's two headline configurations (Fig. 6).
+
+def throughput_job(direction: str, total: int = 16 * MiB) -> FioJob:
+    """Best case: large sequential blocks (256 KiB)."""
+    return FioJob(block_size=256 * KiB, total_bytes=total, pattern="seq",
+                  direction=direction, direct=True)
+
+
+def iops_job(direction: str, total: int = 4 * MiB) -> FioJob:
+    """Worst case: small blocks (4 KiB), maximising per-access cost."""
+    return FioJob(block_size=4 * KiB, total_bytes=total, pattern="seq",
+                  direction=direction, direct=True)
+
+
+def file_io_job(direction: str, total: int = 8 * MiB) -> FioJob:
+    """Buffered file IO (the qemu-9p comparison)."""
+    return FioJob(block_size=4 * KiB, total_bytes=total, pattern="seq",
+                  direction=direction, direct=False)

@@ -1,0 +1,63 @@
+"""FS-Mark — file creation benchmark (§6.3, Figure 5 rows).
+
+The Phoronix Disk suite runs four configurations; we keep their
+shapes, scaled for simulation:
+
+* 1000 Files, 1MB Size          (sync per file)
+* 1000 Files, 1MB, No Sync+FSync
+* 4000 Files, 32 Sub Dirs, 1MB
+* 5000 Files, 1MB, 4 Threads
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import BenchEnv, Measurement, ops_per_second
+from repro.guestos.vfs import O_CREAT, O_RDWR
+
+SCALE = 20  # divide the paper's file counts to keep simulation time sane
+
+
+@dataclass
+class FsMarkConfig:
+    label: str
+    files: int
+    file_size: int
+    dirs: int = 1
+    threads: int = 1
+    sync: bool = True
+
+
+CONFIGS = [
+    FsMarkConfig("FS-Mark: 1000 Files, 1MB", 1000 // SCALE, 256 << 10),
+    FsMarkConfig("FS-Mark: 1k Files, No Sync", 1000 // SCALE, 256 << 10, sync=False),
+    FsMarkConfig("FS-Mark: 4k Files, 32 Dirs", 4000 // SCALE, 256 << 10, dirs=32),
+    FsMarkConfig("FS-Mark: 5k Files, 1MB, 4 Threads", 5000 // SCALE, 256 << 10, threads=4),
+]
+
+
+def run_fsmark(env: BenchEnv, config: FsMarkConfig) -> Measurement:
+    root = f"{env.mountpoint}/fsmark-{abs(hash(config.label)) % 10_000}"
+    env.vfs.makedirs(root)
+    payload = b"\x42" * config.file_size
+    created = 0
+    with env.elapsed() as timer:
+        for d in range(config.dirs):
+            env.vfs.mkdir(f"{root}/d{d:03d}")
+        for i in range(config.files):
+            directory = f"{root}/d{i % config.dirs:03d}"
+            path = f"{directory}/f{i:05d}"
+            handle = env.vfs.open(path, {O_RDWR, O_CREAT})
+            env.vfs.write(handle, payload)
+            if config.sync:
+                env.vfs.fsync(handle)
+            env.vfs.close(handle)
+            created += 1
+    if not config.sync:
+        env.fs.sync_all()
+    # Cleanup is outside the measured span.
+    env.vfs.rmtree(root)
+    return Measurement(env.name, config.label, "files/s",
+                       ops_per_second(created, timer.elapsed), timer.elapsed,
+                       detail={"files": created, "threads": config.threads})

@@ -1,0 +1,58 @@
+"""PostMark — the mail-server workload (§6.3, Figure 5).
+
+Creates a pool of small files, then runs transactions that pair a
+read-or-append with a create-or-delete, as Katcher's original does.
+Small files + metadata churn = page-cache friendly, hence ~no vmsh-blk
+overhead in Figure 5.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchEnv, Measurement, ops_per_second
+from repro.sim.rng import stream
+
+POOL_FILES = 120
+TRANSACTIONS = 400
+MIN_SIZE = 512
+MAX_SIZE = 16 * 1024
+
+
+def run_postmark(env: BenchEnv) -> Measurement:
+    rng = stream("postmark")
+    root = f"{env.mountpoint}/postmark"
+    env.vfs.makedirs(root)
+    pool = []
+    for i in range(POOL_FILES):
+        path = f"{root}/msg{i:05d}"
+        size = rng.randrange(MIN_SIZE, MAX_SIZE)
+        env.vfs.write_file(path, b"\x6d" * size)
+        pool.append(path)
+    env.fs.sync_all()
+
+    counter = POOL_FILES
+    completed = 0
+    with env.elapsed() as timer:
+        for _ in range(TRANSACTIONS):
+            # Half of each transaction: read or append.
+            path = pool[rng.randrange(len(pool))]
+            if rng.random() < 0.5:
+                env.vfs.read_file(path)
+            else:
+                size = env.vfs.stat(path)["size"]
+                handle = env.vfs.open(path, {"O_RDWR"})
+                env.vfs.pwrite(handle, b"\x2e" * rng.randrange(256, 2048), size)
+                env.vfs.close(handle)
+            # Other half: create or delete.
+            if rng.random() < 0.5:
+                counter += 1
+                new_path = f"{root}/msg{counter:05d}"
+                env.vfs.write_file(new_path, b"\x6d" * rng.randrange(MIN_SIZE, MAX_SIZE))
+                pool.append(new_path)
+            elif len(pool) > 8:
+                victim = pool.pop(rng.randrange(len(pool)))
+                env.vfs.unlink(victim)
+            completed += 1
+    env.fs.sync_all()
+    env.vfs.rmtree(root)
+    return Measurement(env.name, "PostMark: Disk transactions", "tx/s",
+                       ops_per_second(completed, timer.elapsed), timer.elapsed)

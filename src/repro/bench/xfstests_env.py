@@ -1,0 +1,105 @@
+"""xfstests environment plumbing: native / qemu-blk / vmsh-blk (E1).
+
+Each test gets a freshly mkfs-ed test partition and scratch partition,
+as xfstests does.  ``native`` runs on NVMe partitions directly;
+``qemu-blk`` puts the test partition on the guest's virtio disk (with
+scratch on a second disk); ``vmsh-blk`` puts the test partition on
+VMSH's side-loaded block device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.bench.xfstests import SuiteResult, build_suite, run_suite
+from repro.guestos.blockcore import NativeDisk
+from repro.guestos.fs import Filesystem
+from repro.guestos.pagecache import PageCache
+from repro.image.builder import build_admin_image
+from repro.testbed import Testbed
+from repro.units import MiB
+
+XFS_FEATURES = {"quota"}
+DISK_SIZE = 64 * MiB
+
+
+def run_xfstests(env_kind: str, quick: bool = False) -> SuiteResult:
+    """Run the suite on one environment.
+
+    ``quick`` runs every 8th test (for fast CI); the benchmark targets
+    run the full 619.
+    """
+    make_fs = _fs_factory(env_kind)
+    tests = build_suite()
+    if quick:
+        tests = tests[::8] + [t for t in tests if "quota-report" in t.test_id]
+    return run_suite(make_fs, tests=tests)
+
+
+def _fs_factory(env_kind: str) -> Callable[[], Tuple[Filesystem, Filesystem]]:
+    if env_kind == "native":
+        testbed = Testbed()
+
+        def make_native() -> Tuple[Filesystem, Filesystem]:
+            test_dev = NativeDisk("/dev/nvme0n1p1", DISK_SIZE, costs=testbed.costs)
+            scratch_dev = NativeDisk("/dev/nvme0n1p2", DISK_SIZE, costs=testbed.costs)
+            cache = PageCache(testbed.costs)
+            return (
+                Filesystem("xfs", device=test_dev, cache=cache,
+                           costs=testbed.costs, features=set(XFS_FEATURES),
+                           label="xfs-test"),
+                Filesystem("xfs", device=scratch_dev, cache=cache,
+                           costs=testbed.costs, features=set(XFS_FEATURES),
+                           label="xfs-scratch"),
+            )
+
+        return make_native
+
+    if env_kind == "qemu-blk":
+        testbed = Testbed()
+        hv = testbed.launch_qemu(disk=testbed.nvme_partition(DISK_SIZE))
+        hv2_disk = testbed.nvme_partition(DISK_SIZE)
+        # Second disk for the scratch partition.
+        hv._attach_blk(hv2_disk, "scratch")  # hot-added via QEMU's API
+        from repro.virtio.mmio import GuestVirtioTransport
+        from repro.virtio.blk import GuestVirtioBlkDisk
+
+        base = sorted(hv._mmio_devices)[-1]
+        transport = GuestVirtioTransport(hv.guest, base, hv._gsi_of(base))
+        scratch_disk = GuestVirtioBlkDisk(hv.guest, transport, "vdb")
+        hv.guest.block_devices["vdb"] = scratch_disk
+        guest = hv.guest
+
+        def make_qemu() -> Tuple[Filesystem, Filesystem]:
+            return (
+                guest.make_fs_on("vda", "xfs", features=set(XFS_FEATURES)),
+                guest.make_fs_on("vdb", "xfs", features=set(XFS_FEATURES)),
+            )
+
+        return make_qemu
+
+    if env_kind == "vmsh-blk":
+        testbed = Testbed()
+        hv = testbed.launch_qemu(disk=testbed.nvme_partition(DISK_SIZE))
+        session = testbed.vmsh().attach(
+            hv.pid, image=build_admin_image(extra_space=DISK_SIZE)
+        )
+        guest = hv.guest
+
+        def make_vmsh() -> Tuple[Filesystem, Filesystem]:
+            return (
+                guest.make_fs_on("vmshblk0", "xfs", features=set(XFS_FEATURES)),
+                guest.make_fs_on("vda", "xfs", features=set(XFS_FEATURES)),
+            )
+
+        return make_vmsh
+
+    raise ValueError(f"unknown xfstests environment {env_kind!r}")
+
+
+def compare_environments(quick: bool = False) -> Dict[str, SuiteResult]:
+    """E1: the paper's three-way comparison."""
+    return {
+        kind: run_xfstests(kind, quick=quick)
+        for kind in ("native", "qemu-blk", "vmsh-blk")
+    }

@@ -1,0 +1,213 @@
+"""Command-line interface: drive the VMSH reproduction from a shell.
+
+Examples::
+
+    python -m repro demo
+    python -m repro attach --hypervisor firecracker --no-seccomp -c "ls /"
+    python -m repro generality
+    python -m repro xfstests --quick
+    python -m repro fio
+    python -m repro phoronix
+    python -m repro console-latency
+    python -m repro debloat
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.guestos.version import ALL_TESTED_VERSIONS, KernelVersion
+from repro.hypervisors import (
+    CloudHypervisor,
+    Crosvm,
+    Firecracker,
+    Kvmtool,
+    Qemu,
+)
+from repro.testbed import Testbed
+
+HYPERVISORS = {
+    "qemu": Qemu,
+    "kvmtool": Kvmtool,
+    "firecracker": Firecracker,
+    "crosvm": Crosvm,
+    "cloud-hypervisor": CloudHypervisor,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VMSH (EuroSys'22) reproduction on a simulated KVM stack",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_demo = sub.add_parser("demo", help="attach a shell to a QEMU guest")
+
+    p_attach = sub.add_parser("attach", help="attach VMSH to a chosen hypervisor")
+    p_attach.add_argument("--hypervisor", choices=sorted(HYPERVISORS), default="qemu")
+    p_attach.add_argument("--kernel", default="v5.10", help="guest kernel (e.g. v4.19)")
+    p_attach.add_argument("--transport", choices=("mmio", "pci", "auto"), default="mmio")
+    p_attach.add_argument("--mmio-mode", choices=("auto", "ioregionfd", "wrap_syscall"),
+                          default="auto")
+    p_attach.add_argument("--no-seccomp", action="store_true",
+                          help="disable Firecracker's seccomp filter")
+    p_attach.add_argument("--seccomp-aware", action="store_true",
+                          help="use the thread-picking injection heuristic")
+    p_attach.add_argument("-c", "--commands", action="append", default=[],
+                          help="command(s) to run on the console")
+
+    sub.add_parser("generality", help="Table 1: hypervisor + kernel matrix")
+    p_xfs = sub.add_parser("xfstests", help="E1: run the xfstests comparison")
+    p_xfs.add_argument("--quick", action="store_true", help="every 8th test only")
+    sub.add_parser("fio", help="E5: fio across device configurations")
+    sub.add_parser("phoronix", help="E4: the Phoronix Disk suite comparison")
+    sub.add_parser("console-latency", help="E6: console round-trip latency")
+    sub.add_parser("debloat", help="E7: top-40 Docker image de-bloat")
+
+    args = parser.parse_args(argv)
+    handler = globals()[f"_cmd_{args.command.replace('-', '_')}"]
+    return handler(args)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    testbed = Testbed()
+    hv = testbed.launch_qemu()
+    session = testbed.vmsh().attach(hv.pid)
+    report = session.report
+    print(f"attached to {hv.NAME} (pid {hv.pid})")
+    print(f"  kernel {report.kernel_version} at {report.kernel_vbase:#x}, "
+          f"ksymtab {report.ksymtab_layout}, dispatch {report.mmio_mode}")
+    for command in ("ls /", "cat /var/lib/vmsh/etc/hostname", "ps"):
+        result = session.console.run_command(command)
+        print(f"$ {command}")
+        for line in result.output.splitlines():
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_attach(args: argparse.Namespace) -> int:
+    testbed = Testbed()
+    cls = HYPERVISORS[args.hypervisor]
+    kwargs = {}
+    if cls is Firecracker:
+        kwargs["seccomp"] = not args.no_seccomp
+        if args.seccomp_aware:
+            kwargs["vmsh_seccomp_profile"] = True
+    try:
+        version = KernelVersion.parse(args.kernel)
+    except ValueError as exc:
+        print(f"error: {exc} (expected e.g. v5.10)", file=sys.stderr)
+        return 2
+    hv = testbed.launch(cls, guest_version=version, **kwargs)
+    try:
+        session = testbed.vmsh().attach(
+            hv.pid,
+            mmio_mode=args.mmio_mode,
+            transport=args.transport,
+            seccomp_aware=args.seccomp_aware,
+        )
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"attach failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    report = session.report
+    print(f"attached: kernel {report.kernel_version}, ksymtab {report.ksymtab_layout}, "
+          f"transport {report.transport}, dispatch {report.mmio_mode}, "
+          f"{report.attach_ns / 1e6:.2f} ms virtual")
+    for command in args.commands or ["ls /"]:
+        result = session.console.run_command(command)
+        print(f"$ {command}")
+        for line in result.output.splitlines():
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_generality(args: argparse.Namespace) -> int:
+    from repro.errors import HypervisorNotSupportedError, SeccompViolationError
+
+    print("hypervisors (Table 1):")
+    for name, cls in sorted(HYPERVISORS.items()):
+        testbed = Testbed()
+        kwargs = {"seccomp": False} if cls is Firecracker else {}
+        hv = testbed.launch(cls, **kwargs)
+        try:
+            testbed.vmsh().attach(hv.pid)
+            print(f"  {name:18s} supported")
+        except HypervisorNotSupportedError as exc:
+            print(f"  {name:18s} unsupported ({exc})")
+        except SeccompViolationError as exc:
+            print(f"  {name:18s} blocked by seccomp ({exc})")
+    print("kernels:")
+    for version in ALL_TESTED_VERSIONS:
+        testbed = Testbed()
+        hv = testbed.launch_qemu(guest_version=version)
+        session = testbed.vmsh().attach(hv.pid)
+        print(f"  {str(version):8s} ksymtab={session.report.ksymtab_layout}")
+    return 0
+
+
+def _cmd_xfstests(args: argparse.Namespace) -> int:
+    from repro.bench.xfstests_env import compare_environments
+
+    results = compare_environments(quick=args.quick)
+    for kind, res in results.items():
+        passed, failed, skipped = res.counts
+        print(f"{kind:10s} passed={passed} failed={failed} skipped={skipped} "
+              f"{res.failed_ids()}")
+    return 0
+
+
+def _cmd_fio(args: argparse.Namespace) -> int:
+    from repro.bench.harness import ENV_NAMES, make_env
+    from repro.bench.workloads.fio import iops_job, run_fio, throughput_job
+    from repro.units import MiB
+
+    print(f"{'config':30s} {'tput MB/s':>10} {'IOPS':>10}")
+    for name in ENV_NAMES:
+        env = make_env(name, disk_size=256 * MiB)
+        tput = run_fio(env, throughput_job("read"))
+        env.drop_caches()
+        iops = run_fio(env, iops_job("read"))
+        print(f"{name:30s} {tput.value:10.1f} {iops.detail['iops']:10.0f}")
+    return 0
+
+
+def _cmd_phoronix(args: argparse.Namespace) -> int:
+    from repro.bench.workloads.phoronix import average_slowdown, run_phoronix
+
+    rows = run_phoronix()
+    for row in sorted(rows, key=lambda r: -r.relative):
+        print(f"{row.name:40s} {row.relative:5.2f}x")
+    mean, std = average_slowdown(rows)
+    print(f"\naverage {mean:.2f}x +- {std:.2f}  (paper: 1.5x +- 0.6)")
+    return 0
+
+
+def _cmd_console_latency(args: argparse.Namespace) -> int:
+    from repro.bench.latency import run_console_comparison
+
+    for result in run_console_comparison():
+        print(f"{result.seat:14s} {result.mean_ms:6.3f} ms")
+    return 0
+
+
+def _cmd_debloat(args: argparse.Namespace) -> int:
+    from repro.image.debloat import debloat_top40, summarize
+
+    results = debloat_top40(Testbed())
+    for r in sorted(results, key=lambda r: r.reduction):
+        print(f"{r.image:14s} -{r.reduction * 100:5.1f}%  "
+              f"({r.size_before >> 20} -> {r.size_after >> 20} MB)")
+    stats = summarize(results)
+    print(f"\nmean {stats['mean_reduction'] * 100:.1f}%  <10%: {stats['below_10pct']}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

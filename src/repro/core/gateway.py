@@ -1,0 +1,94 @@
+"""VMSH's view of guest memory, from outside the hypervisor.
+
+Composes the eBPF-snooped memslot map (gpa -> hva) with
+``process_vm_readv``/``writev`` into a guest-*physical* accessor, and a
+page-table walker on top of that into a guest-*virtual* accessor.  All
+of VMSH's binary analysis (KASLR scan, ksymtab parsing, banner read)
+and its library loader run through this gateway — paying the same
+cross-process costs the real system pays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.arch import Arch, X86_64
+from repro.errors import SideloadError
+from repro.host.kernel import HostKernel
+from repro.host.process import Thread
+from repro.units import PAGE_SIZE
+from repro.virtio.memio import GpaTranslator, RemoteProcessAccessor
+
+
+class GuestMemoryGateway:
+    """Physical + virtual guest memory access from the VMSH process."""
+
+    def __init__(
+        self,
+        kernel: HostKernel,
+        vmsh_thread: Thread,
+        hypervisor_pid: int,
+        memslot_records: List,
+        arch: Arch = X86_64,
+    ):
+        self.kernel = kernel
+        self.vmsh_thread = vmsh_thread
+        self.hypervisor_pid = hypervisor_pid
+        self.arch = arch
+        self.translator = GpaTranslator(memslot_records)
+        self.phys = RemoteProcessAccessor(
+            kernel, vmsh_thread, hypervisor_pid, self.translator
+        )
+        self.walker = arch.walker(self.phys.read_u64)
+        self.cr3 = 0
+
+    def refresh_memslots(self, memslot_records: List) -> None:
+        """Re-snapshot after VMSH adds its own memslot."""
+        self.translator = GpaTranslator(memslot_records)
+        self.phys = RemoteProcessAccessor(
+            self.kernel, self.vmsh_thread, self.hypervisor_pid, self.translator
+        )
+        self.walker = self.arch.walker(self.phys.read_u64)
+
+    def set_cr3(self, cr3: int) -> None:
+        self.cr3 = cr3
+
+    # -- virtual access ------------------------------------------------------------
+
+    def translate(self, vaddr: int) -> int:
+        if not self.cr3:
+            raise SideloadError("gateway has no CR3 yet")
+        return self.walker.translate(self.cr3, vaddr).paddr
+
+    def read_virt(self, vaddr: int, length: int) -> bytes:
+        out = bytearray()
+        pos = 0
+        while pos < length:
+            cur = vaddr + pos
+            paddr = self.translate(cur)
+            in_page = cur & (PAGE_SIZE - 1)
+            chunk = min(length - pos, PAGE_SIZE - in_page)
+            out += self.phys.read(paddr, chunk)
+            pos += chunk
+        return bytes(out)
+
+    def write_virt(self, vaddr: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            cur = vaddr + pos
+            paddr = self.translate(cur)
+            in_page = cur & (PAGE_SIZE - 1)
+            chunk = min(len(data) - pos, PAGE_SIZE - in_page)
+            self.phys.write(paddr, data[pos : pos + chunk])
+            pos += chunk
+
+    def read_cstring(self, vaddr: int, max_length: int = 256) -> str:
+        """Read a NUL-terminated ASCII string from guest virtual memory."""
+        raw = self.read_virt(vaddr, max_length)
+        nul = raw.find(b"\x00")
+        if nul < 0:
+            raise SideloadError(f"unterminated string at {vaddr:#x}")
+        try:
+            return raw[:nul].decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise SideloadError(f"non-ASCII string at {vaddr:#x}") from exc

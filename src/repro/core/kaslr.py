@@ -1,0 +1,63 @@
+"""Locating the KASLR-randomised kernel image (§4.2).
+
+"Although KASLR randomizes the kernel location, the kernel itself is
+placed into a fixed number of slots in memory, located in a fixed
+address range.  VMSH can therefore locate the kernel by iterating over
+the guest VM's page table entries."
+
+The scan probes each 2 MiB-aligned slot base in the kernel text range;
+the first mapped slot is the image base (nothing else lives in that
+range).  A second fine-grained pass finds where the mapping ends, which
+is where VMSH maps its own library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gateway import GuestMemoryGateway
+from repro.errors import KernelNotFoundError, PageFaultError
+from repro.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class KernelLocation:
+    """Where the guest kernel image sits in virtual memory."""
+
+    vbase: int
+    vend: int
+
+    @property
+    def size(self) -> int:
+        return self.vend - self.vbase
+
+
+def find_kernel(gateway: GuestMemoryGateway, max_image_size: int = 64 * 1024 * 1024) -> KernelLocation:
+    """Scan the architecture's KASLR range for the kernel image."""
+    arch = gateway.arch
+    vbase = None
+    for slot_base in range(
+        arch.kernel_text_base,
+        arch.kernel_text_base + arch.kernel_text_range,
+        arch.kaslr_align,
+    ):
+        if _is_mapped(gateway, slot_base):
+            vbase = slot_base
+            break
+    if vbase is None:
+        raise KernelNotFoundError(
+            "no mapped pages in the KASLR range — is CR3 from a booted vCPU?"
+        )
+
+    vend = vbase
+    while vend < vbase + max_image_size and _is_mapped(gateway, vend):
+        vend += PAGE_SIZE
+    return KernelLocation(vbase=vbase, vend=vend)
+
+
+def _is_mapped(gateway: GuestMemoryGateway, vaddr: int) -> bool:
+    try:
+        gateway.translate(vaddr)
+        return True
+    except PageFaultError:
+        return False

@@ -1,0 +1,644 @@
+"""VMSH: hypervisor-agnostic attach to a running KVM VM.
+
+The public entry point of the library.  :meth:`Vmsh.attach` performs
+the complete pipeline of §4/§5 against a hypervisor *process id* —
+never a hypervisor API:
+
+1.  discover the KVM vm/vcpu fds via ``/proc/<pid>/fd``;
+2.  ptrace-attach and interrupt the hypervisor;
+3.  snoop the gpa->hva memslot table with an eBPF program on
+    ``kvm_vm_ioctl``, triggered by an injected no-op ioctl;
+4.  read CR3 from vCPU 0 (injected ``KVM_GET_SREGS``);
+5.  find the kernel in the KASLR range by walking the page tables;
+6.  reconstruct the exported symbol table (all layouts in parallel);
+7.  detect the kernel version from ``linux_banner`` and build the
+    side-loadable library for that version's ABI;
+8.  create the irqfds/sockets *inside* the hypervisor (injected
+    ``eventfd2``/``socketpair``/``KVM_IRQFD``/``KVM_SET_IOREGION``)
+    and pass the fds back over an injected UNIX socket;
+9.  allocate fresh guest memory at the top of the address space
+    (injected ``mmap`` + ``KVM_SET_USER_MEMORY_REGION``), write the
+    blob, patch its relocations, map it after the kernel image;
+10. save registers, point RIP at the library, resume — the guest
+    registers VMSH's devices and spawns the overlay;
+11. drop privileges.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.devices import (
+    IoregionfdDispatch,
+    MmioDispatch,
+    VmshDeviceHost,
+    WrapSyscallDispatch,
+)
+from repro.core.gateway import GuestMemoryGateway
+from repro.core.kaslr import KernelLocation, find_kernel
+from repro.core.ksymtab import ParsedKsymtab, parse_ksymtab
+from repro.core.libbuild import (
+    LibraryPlan,
+    VMSH_BLK_GSI,
+    VMSH_CONSOLE_GSI,
+    build_library,
+    plan_library,
+)
+# Importing these registers the guest-side program runtimes.
+from repro.core import kernel_lib as _kernel_lib  # noqa: F401
+from repro.core import stage2 as _stage2          # noqa: F401
+from repro.errors import (
+    HypervisorNotSupportedError,
+    KvmError,
+    SideloadError,
+    SymbolResolutionError,
+    VmshError,
+)
+from repro.guestos.kfunctions import REQUIRED_KERNEL_FUNCTIONS
+from repro.guestos.version import KernelVersion
+from repro.host.ebpf import MemslotRecord, MemslotSnooper
+from repro.host.kernel import HostKernel
+from repro.host.process import Process, SocketPair, Thread
+from repro.host.procfs import ProcFs
+from repro.host.ptrace import PtraceSession, attach as ptrace_attach
+from repro.image.builder import build_admin_image
+from repro.kvm.vcpu import VcpuFd
+from repro.sideload import parse_blob, reloc_slot_offset
+from repro.units import MiB, PAGE_SIZE, page_align_up
+from repro.virtio.console import Pts
+from repro.virtio.memio import BytewiseRemoteAccessor, RemoteProcessAccessor
+
+PT_RESERVE_PAGES = 64
+
+
+@dataclass
+class AttachReport:
+    """Diagnostics from one attach."""
+
+    hypervisor_pid: int
+    kernel_version: KernelVersion
+    ksymtab_layout: str
+    symbols_found: int
+    kernel_vbase: int
+    lib_vaddr: int
+    mmio_mode: str
+    attach_ns: int
+    transport: str = "mmio"
+
+
+@dataclass
+class CommandResult:
+    output: str
+    latency_ns: int
+
+
+class VmshConsole:
+    """User-facing end of the VMSH console (a pts master)."""
+
+    def __init__(self, pts: Pts, host: HostKernel):
+        self._pts = pts
+        self._host = host
+
+    def run_command(self, line: str) -> CommandResult:
+        """Submit a command line; returns output and round-trip latency."""
+        start = self._host.clock.now
+        self._pts.user_write(line.encode() + b"\n")
+        output = self._pts.user_read_all().decode(errors="replace")
+        return CommandResult(
+            output=output.rstrip("\n"), latency_ns=self._host.clock.now - start
+        )
+
+
+class VmshSession:
+    """A live attachment to one VM."""
+
+    def __init__(
+        self,
+        vmsh: "Vmsh",
+        report: AttachReport,
+        console: VmshConsole,
+        device_host: VmshDeviceHost,
+        dispatch: MmioDispatch,
+        ptrace_session: Optional[PtraceSession],
+    ):
+        self.vmsh = vmsh
+        self.report = report
+        self.console = console
+        self.device_host = device_host
+        self.dispatch = dispatch
+        self._ptrace = ptrace_session
+        self.detached = False
+
+    @property
+    def mmio_mode(self) -> str:
+        return self.report.mmio_mode
+
+    def image_snapshot(self) -> bytes:
+        """Current contents of the served file-system image."""
+        return self.device_host.backend.snapshot()
+
+    def exec(self, argv) -> "ExecResult":
+        """Run a one-shot command in the overlay via the vm-exec device.
+
+        Requires ``attach(..., exec_device=True)``.  ``argv`` may be a
+        list of strings or a single command line.
+        """
+        if self.device_host.exec_device is None:
+            raise VmshError("session was attached without exec_device=True")
+        if isinstance(argv, str):
+            argv = argv.split()
+        return self.device_host.exec_device.submit(list(argv))
+
+    def detach(self) -> None:
+        """Release the hypervisor.
+
+        In ioregionfd mode the devices keep working afterwards (KVM
+        routes the exits); in wrap_syscall mode detaching removes the
+        dispatch and the overlay loses its devices.
+        """
+        if self.detached:
+            return
+        if isinstance(self.dispatch, WrapSyscallDispatch):
+            self.dispatch.uninstall()
+        if self._ptrace is not None and self._ptrace.attached:
+            self._ptrace.detach()
+        self.detached = True
+
+
+class Vmsh:
+    """The VMSH host program."""
+
+    def __init__(self, host: HostKernel, image: Optional[bytes] = None):
+        self.host = host
+        self.process: Process = host.spawn_process("vmsh")
+        self.procfs = ProcFs(host)
+        self.image = image if image is not None else build_admin_image()
+
+    @property
+    def _thread(self) -> Thread:
+        return self.process.main_thread
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def attach(
+        self,
+        hypervisor_pid: int,
+        mmio_mode: str = "auto",
+        command: str = "/bin/sh",
+        container_pid: int = 0,
+        image: Optional[bytes] = None,
+        unoptimised_copy: bool = False,
+        transport: str = "mmio",
+        exec_device: bool = False,
+        seccomp_aware: bool = False,
+    ) -> VmshSession:
+        """Attach to the VM of ``hypervisor_pid`` and spawn the overlay.
+
+        ``mmio_mode``: ``"auto"``, ``"ioregionfd"`` or ``"wrap_syscall"``
+        — how guest accesses to VMSH's registers reach the VMSH process.
+
+        ``transport``: ``"mmio"`` (the paper's implementation and the
+        default — Cloud Hypervisor is *unsupported* with it, exactly as
+        in Table 1), ``"pci"`` (the VirtIO-PCI/MSI-X extension the
+        paper plans as future work), or ``"auto"`` (mmio first, PCI
+        fallback).
+
+        ``unoptimised_copy`` selects the pre-§5 staged copy path (kept
+        for the ablation benchmark).
+        """
+        if transport not in ("auto", "mmio", "pci"):
+            raise VmshError(f"unknown virtio transport {transport!r}")
+        if transport == "auto":
+            try:
+                return self._attach_once(
+                    hypervisor_pid, mmio_mode, command, container_pid,
+                    image, unoptimised_copy, "mmio", exec_device,
+                    seccomp_aware,
+                )
+            except HypervisorNotSupportedError:
+                # MSI-X-only irqchip: retry over PCI (§6.2 future work).
+                return self._attach_once(
+                    hypervisor_pid, mmio_mode, command, container_pid,
+                    image, unoptimised_copy, "pci", exec_device,
+                    seccomp_aware,
+                )
+        return self._attach_once(
+            hypervisor_pid, mmio_mode, command, container_pid, image,
+            unoptimised_copy, transport, exec_device, seccomp_aware,
+        )
+
+    def _attach_once(
+        self,
+        hypervisor_pid: int,
+        mmio_mode: str,
+        command: str,
+        container_pid: int,
+        image: Optional[bytes],
+        unoptimised_copy: bool,
+        transport: str,
+        exec_device: bool = False,
+        seccomp_aware: bool = False,
+    ) -> VmshSession:
+        if mmio_mode not in ("auto", "ioregionfd", "wrap_syscall"):
+            raise VmshError(f"unknown mmio mode {mmio_mode!r}")
+        start_ns = self.host.clock.now
+        hv = self.host.process(hypervisor_pid)
+
+        # 1. /proc discovery of KVM fds.
+        vm_fd, vcpu_fds = self._discover_kvm_fds(hypervisor_pid)
+
+        # 2. ptrace attach + interrupt.
+        session = ptrace_attach(self.host, self.process, hv)
+        session.seccomp_aware = seccomp_aware
+        try:
+            inject_thread = hv.main_thread
+            session.interrupt(inject_thread)
+
+            # 3. eBPF memslot snooping, triggered by an injected ioctl.
+            ioregionfd_supported, records = self._snoop_memslots(
+                session, inject_thread, vm_fd
+            )
+
+            # 4. CR3 from vCPU 0.
+            sregs = session.inject_syscall(
+                inject_thread, "ioctl", vcpu_fds[0], "KVM_GET_SREGS"
+            )
+            arch = self.host.arch
+            gateway = GuestMemoryGateway(
+                self.host, self._thread, hypervisor_pid, records, arch=arch
+            )
+            gateway.set_cr3(sregs[arch.pt_root_sreg])
+
+            # 5./6./7. Binary analysis.
+            location = find_kernel(gateway)
+            ksymtab = parse_ksymtab(gateway, location)
+            version = self._detect_version(gateway, ksymtab)
+            missing = [
+                name for name in REQUIRED_KERNEL_FUNCTIONS
+                if name not in ksymtab.symbols
+            ]
+            if missing:
+                raise SymbolResolutionError(missing[0])
+
+            plan = plan_library(
+                version, command=command, container_pid=container_pid,
+                transport=transport, exec_device=exec_device,
+            )
+            blob = build_library(plan)
+
+            # 8. Device fds inside the hypervisor.
+            mode = self._choose_mode(mmio_mode, ioregionfd_supported)
+            console_efd, blk_efd, exec_efd, ioregion_socket = (
+                self._create_device_fds(session, inject_thread, vm_fd, plan, mode)
+            )
+
+            # 9. Library placement.
+            blob_gpa, lib_vaddr, gateway = self._load_library(
+                session, inject_thread, vm_fd, gateway, location, ksymtab, blob,
+                records,
+            )
+
+            # Devices + dispatch.
+            image_bytes = image if image is not None else self.image
+            accessor_cls = (
+                BytewiseRemoteAccessor if unoptimised_copy else RemoteProcessAccessor
+            )
+            accessor = accessor_cls(
+                self.host, self._thread, hypervisor_pid, gateway.translator
+            )
+            device_host = VmshDeviceHost(
+                costs=self.host.costs,
+                accessor=accessor,
+                plan=plan,
+                image_bytes=image_bytes,
+                console_irq=self._irq_signaller(console_efd),
+                blk_irq=self._irq_signaller(blk_efd),
+                exec_irq=(
+                    self._irq_signaller(exec_efd) if exec_efd is not None else None
+                ),
+            )
+            dispatch: MmioDispatch
+            if mode == "ioregionfd":
+                assert ioregion_socket is not None
+                dispatch = IoregionfdDispatch(device_host, ioregion_socket)
+            else:
+                vcpus_by_tid = self._map_vcpu_threads(hv, vcpu_fds)
+                dispatch = WrapSyscallDispatch(
+                    self.host, session, device_host, vcpus_by_tid
+                )
+            dispatch.install()
+
+            # 10. Trampoline: save registers, divert RIP, resume.
+            self._hijack_and_run(
+                session, inject_thread, hv, vcpu_fds[0], blob, blob_gpa,
+                lib_vaddr, gateway,
+            )
+
+            # 11. Privilege drop (§4.5).
+            self.process.drop_capability("CAP_BPF")
+            self.process.drop_capability("CAP_SYS_ADMIN")
+
+            if mode == "ioregionfd":
+                session.detach()
+                ptrace_ref = None
+            else:
+                ptrace_ref = session
+        except Exception:
+            if session.attached:
+                session.detach()
+            raise
+
+        report = AttachReport(
+            hypervisor_pid=hypervisor_pid,
+            kernel_version=version,
+            ksymtab_layout=ksymtab.layout,
+            symbols_found=len(ksymtab.symbols),
+            kernel_vbase=location.vbase,
+            lib_vaddr=lib_vaddr,
+            mmio_mode=mode,
+            attach_ns=self.host.clock.now - start_ns,
+            transport=transport,
+        )
+        self.host.tracer.emit(
+            "vmsh", "attached", pid=hypervisor_pid, mode=mode,
+            version=str(version), transport=transport,
+        )
+        return VmshSession(
+            vmsh=self,
+            report=report,
+            console=VmshConsole(device_host.pts, self.host),
+            device_host=device_host,
+            dispatch=dispatch,
+            ptrace_session=ptrace_ref,
+        )
+
+    # ------------------------------------------------------------------
+    # Pipeline steps
+    # ------------------------------------------------------------------
+
+    def _discover_kvm_fds(self, pid: int) -> Tuple[int, List[int]]:
+        links = self.procfs.fd_links(pid)
+        vm_fd = None
+        vcpus: List[Tuple[int, int]] = []
+        for fd, link in links.items():
+            if link == "anon_inode:kvm-vm":
+                vm_fd = fd
+            elif link.startswith("anon_inode:kvm-vcpu:"):
+                vcpus.append((int(link.rsplit(":", 1)[1]), fd))
+        if vm_fd is None or not vcpus:
+            raise SideloadError(
+                f"process {pid} holds no KVM VM (is it a KVM hypervisor?)"
+            )
+        vcpus.sort()
+        return vm_fd, [fd for _, fd in vcpus]
+
+    def _snoop_memslots(
+        self, session: PtraceSession, thread: Thread, vm_fd: int
+    ) -> Tuple[bool, List[MemslotRecord]]:
+        snooper = MemslotSnooper(self.host, self.process)
+        snooper.attach()
+        try:
+            supported = session.inject_syscall(
+                thread, "ioctl", vm_fd, "KVM_CHECK_EXTENSION", "KVM_CAP_IOREGIONFD"
+            )
+            records = snooper.read_map()
+        finally:
+            snooper.detach()
+        if not records:
+            raise SideloadError("memslot snooper captured nothing")
+        return bool(supported), records
+
+    def _detect_version(
+        self, gateway: GuestMemoryGateway, ksymtab: ParsedKsymtab
+    ) -> KernelVersion:
+        banner_vaddr = ksymtab.require("linux_banner")
+        banner = gateway.read_cstring(banner_vaddr)
+        if not banner.startswith("Linux version "):
+            raise SideloadError(f"implausible linux_banner: {banner!r}")
+        token = banner.split()[2]          # e.g. "5.10.0"
+        return KernelVersion.parse(".".join(token.split(".")[:2]))
+
+    def _choose_mode(self, requested: str, ioregionfd_supported: bool) -> str:
+        if requested == "auto":
+            return "ioregionfd" if ioregionfd_supported else "wrap_syscall"
+        if requested == "ioregionfd" and not ioregionfd_supported:
+            raise VmshError("host kernel lacks the ioregionfd patch")
+        return requested
+
+    def _create_device_fds(
+        self,
+        session: PtraceSession,
+        thread: Thread,
+        vm_fd: int,
+        plan: LibraryPlan,
+        mode: str,
+    ) -> Tuple[int, int, Optional[SocketPair]]:
+        """Create irqfds (and the ioregionfd socket) in the hypervisor
+        and pass them back over an injected UNIX socket."""
+        hv = session.tracee
+        console_efd_hv = session.inject_syscall(thread, "eventfd2")
+        blk_efd_hv = session.inject_syscall(thread, "eventfd2")
+        exec_efd_hv = None
+        if plan.exec_device:
+            exec_efd_hv = session.inject_syscall(thread, "eventfd2")
+        if plan.transport == "pci":
+            # MSI-routed irqfds: no GSI pins needed (the extension).
+            session.inject_syscall(
+                thread, "ioctl", vm_fd, "KVM_IRQFD_MSI",
+                {"msi_message": plan.console_msi, "eventfd": console_efd_hv},
+            )
+            session.inject_syscall(
+                thread, "ioctl", vm_fd, "KVM_IRQFD_MSI",
+                {"msi_message": plan.blk_msi, "eventfd": blk_efd_hv},
+            )
+            if exec_efd_hv is not None:
+                session.inject_syscall(
+                    thread, "ioctl", vm_fd, "KVM_IRQFD_MSI",
+                    {"msi_message": plan.exec_msi, "eventfd": exec_efd_hv},
+                )
+        else:
+            # Pin-based irqfds — this is where Cloud Hypervisor's
+            # MSI-X-only model fails (Table 1).
+            try:
+                session.inject_syscall(
+                    thread, "ioctl", vm_fd, "KVM_IRQFD",
+                    {"gsi": plan.console_gsi, "eventfd": console_efd_hv},
+                )
+                session.inject_syscall(
+                    thread, "ioctl", vm_fd, "KVM_IRQFD",
+                    {"gsi": plan.blk_gsi, "eventfd": blk_efd_hv},
+                )
+            except KvmError as exc:
+                raise HypervisorNotSupportedError(
+                    f"cannot route VMSH interrupts on this hypervisor: {exc}"
+                ) from exc
+            if exec_efd_hv is not None:
+                session.inject_syscall(
+                    thread, "ioctl", vm_fd, "KVM_IRQFD",
+                    {"gsi": plan.exec_gsi, "eventfd": exec_efd_hv},
+                )
+
+        # Injected UNIX socket for fd passing (§5): one end stays in
+        # the hypervisor, VMSH connects to the other.
+        sock_a, sock_b = session.inject_syscall(thread, "socketpair")
+        vmsh_sock_fd = self.process.fds.install(hv.fds.get(sock_b))
+
+        ioregion_socket: Optional[SocketPair] = None
+        attached = [console_efd_hv, blk_efd_hv]
+        if mode == "ioregionfd":
+            io_a, io_b = session.inject_syscall(thread, "socketpair")
+            window_count = 3 if plan.exec_device else 2
+            session.inject_syscall(
+                thread, "ioctl", vm_fd, "KVM_SET_IOREGION",
+                {
+                    "gpa": plan.console_mmio,
+                    "size": window_count * 0x1000,
+                    "socket": io_a,
+                },
+            )
+            if plan.transport == "pci":
+                # The ECAM config pages of VMSH's device slots.
+                from repro.virtio.pci import slot_address
+
+                session.inject_syscall(
+                    thread, "ioctl", vm_fd, "KVM_SET_IOREGION",
+                    {
+                        "gpa": slot_address(plan.console_slot),
+                        "size": window_count * 0x1000,
+                        "socket": io_a,
+                    },
+                )
+            attached.append(io_b)
+
+        if exec_efd_hv is not None:
+            attached.insert(2, exec_efd_hv)
+        session.inject_syscall(thread, "sendmsg", sock_a, "vmsh-fds", attached)
+        payload, fds = self.host.syscall(self._thread, "recvmsg", vmsh_sock_fd)
+        if payload != "vmsh-fds":
+            raise SideloadError("fd-passing handshake failed")
+        console_efd, blk_efd = fds[0], fds[1]
+        exec_efd = None
+        cursor = 2
+        if exec_efd_hv is not None:
+            exec_efd = fds[cursor]
+            cursor += 1
+        if mode == "ioregionfd":
+            socket_obj = self.process.fds.get(fds[cursor])
+            assert isinstance(socket_obj, SocketPair)
+            ioregion_socket = socket_obj
+        return console_efd, blk_efd, exec_efd, ioregion_socket
+
+    def _irq_signaller(self, eventfd_fd: int):
+        host, thread = self.host, self._thread
+
+        def signal() -> None:
+            host.syscall(thread, "write", eventfd_fd)
+
+        return signal
+
+    def _load_library(
+        self,
+        session: PtraceSession,
+        thread: Thread,
+        vm_fd: int,
+        gateway: GuestMemoryGateway,
+        location: KernelLocation,
+        ksymtab: ParsedKsymtab,
+        blob: bytes,
+        records: List[MemslotRecord],
+    ) -> Tuple[int, int, GuestMemoryGateway]:
+        # Fresh guest physical memory at the top of the address space
+        # (hypervisors allocate low-to-high, §4.2).
+        region_size = page_align_up(len(blob)) + PT_RESERVE_PAGES * PAGE_SIZE
+        top_gpa = page_align_up(max(r.gpa + r.size for r in records))
+        blob_gpa = max(top_gpa, 0x1_0000_0000)  # clear of the MMIO window
+
+        hva = session.inject_syscall(thread, "mmap", region_size, "vmsh-lib")
+        free_slot = max(r.slot for r in records) + 1
+        session.inject_syscall(
+            thread, "ioctl", vm_fd, "KVM_SET_USER_MEMORY_REGION",
+            {"slot": free_slot, "gpa": blob_gpa, "size": region_size, "hva": hva},
+        )
+        new_records = list(records) + [
+            MemslotRecord(slot=free_slot, gpa=blob_gpa, size=region_size, hva=hva)
+        ]
+        gateway.refresh_memslots(new_records)
+
+        # Upload the blob and patch its relocation slots.
+        gateway.phys.write(blob_gpa, blob)
+        for index, name in enumerate(REQUIRED_KERNEL_FUNCTIONS):
+            vaddr = ksymtab.require(name)
+            slot_off = reloc_slot_offset(blob, index)
+            gateway.phys.write(blob_gpa + slot_off, struct.pack("<Q", vaddr))
+
+        # Map the library right after the kernel image (§4.2, Fig. 3).
+        lib_vaddr = page_align_up(location.vend)
+        pt_alloc_cursor = [blob_gpa + page_align_up(len(blob))]
+
+        def alloc_pt_page() -> int:
+            gpa = pt_alloc_cursor[0]
+            pt_alloc_cursor[0] += PAGE_SIZE
+            if gpa >= blob_gpa + region_size:
+                raise SideloadError("page-table reserve exhausted")
+            return gpa
+
+        builder = gateway.arch.builder(
+            gateway.phys.read_u64, gateway.phys.write_u64, alloc_pt_page
+        )
+        builder.map_range(gateway.cr3, lib_vaddr, blob_gpa, page_align_up(len(blob)))
+        return blob_gpa, lib_vaddr, gateway
+
+    def _map_vcpu_threads(
+        self, hv: Process, vcpu_fds: List[int]
+    ) -> Dict[int, VcpuFd]:
+        mapping: Dict[int, VcpuFd] = {}
+        for fd in vcpu_fds:
+            vcpu = hv.fds.get(fd)
+            assert isinstance(vcpu, VcpuFd)
+            if vcpu.run_thread is not None:
+                mapping[vcpu.run_thread.tid] = vcpu
+        return mapping
+
+    def _hijack_and_run(
+        self,
+        session: PtraceSession,
+        thread: Thread,
+        hv: Process,
+        vcpu_fd: int,
+        blob: bytes,
+        blob_gpa: int,
+        lib_vaddr: int,
+        gateway: GuestMemoryGateway,
+    ) -> None:
+        # Save the interrupted context into the trampoline scratch area.
+        arch = gateway.arch
+        orig_regs = session.inject_syscall(thread, "ioctl", vcpu_fd, "KVM_GET_REGS")
+        parsed = parse_blob(lambda off, length: bytes(blob[off : off + length]))
+        scratch = struct.pack(
+            f"<{len(arch.gp_registers)}Q",
+            *(orig_regs[r] for r in arch.gp_registers),
+        )
+        gateway.phys.write(blob_gpa + parsed.scratch_offset, scratch)
+
+        # Divert the instruction pointer into the library.
+        new_regs = dict(orig_regs)
+        new_regs[arch.ip_register] = lib_vaddr + parsed.entry_offset
+        session.inject_syscall(thread, "ioctl", vcpu_fd, "KVM_SET_REGS", new_regs)
+        session.resume(thread)
+
+        # The hypervisor re-enters KVM_RUN; the guest executes the
+        # library, which registers devices, spawns stage 2 and finally
+        # restores the saved context.
+        vcpu = hv.fds.get(vcpu_fd)
+        assert isinstance(vcpu, VcpuFd)
+        run_thread = vcpu.run_thread if vcpu.run_thread is not None else thread
+        result = self.host.syscall(run_thread, "ioctl", vcpu_fd, "KVM_RUN")
+        if result != "vmsh-lib-done":
+            raise SideloadError(f"library execution returned {result!r}")
+        restored = self.host.syscall(run_thread, "ioctl", vcpu_fd, "KVM_GET_REGS")
+        if restored[arch.ip_register] != orig_regs[arch.ip_register]:
+            raise SideloadError("trampoline failed to restore the guest context")

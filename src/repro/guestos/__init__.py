@@ -1,0 +1,102 @@
+"""Simulated guest Linux: kernel, VFS, page cache, processes, drivers."""
+
+from repro.guestos.blockcore import BlockDevice, MemoryBlockDevice, NativeDisk
+from repro.guestos.console import GuestShell, GuestTty
+from repro.guestos.fs import Filesystem, Inode
+from repro.guestos.kernel import (
+    EXEC_PROGRAMS,
+    GuestConfig,
+    GuestKernel,
+    register_program,
+)
+from repro.guestos.kfunctions import (
+    BlockConfig,
+    ConsoleConfig,
+    PlatformDeviceInfo,
+    PosRef,
+    REQUIRED_KERNEL_FUNCTIONS,
+    UmhArgs,
+    expected_symbol_names,
+    pack_kernel_read_args,
+    pack_kernel_write_args,
+)
+from repro.guestos.loader import KERNEL_IMAGE_SIZE, KernelImage, build_kernel_image
+from repro.guestos.pagecache import PageCache
+from repro.guestos.process import (
+    CONTAINER_CAPABILITIES,
+    ContainerContext,
+    Credentials,
+    GuestProcess,
+    GuestProcessTable,
+)
+from repro.guestos.symbols import SymbolSections, build_symbol_sections
+from repro.guestos.version import (
+    ALL_TESTED_VERSIONS,
+    DEVELOPMENT_VERSION,
+    KernelVersion,
+    LTS_VERSIONS,
+)
+from repro.guestos.vfs import (
+    Mount,
+    MountNamespace,
+    O_APPEND,
+    O_CREAT,
+    O_DIRECT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    OpenFile,
+    Vfs,
+)
+
+__all__ = [
+    "GuestKernel",
+    "GuestConfig",
+    "EXEC_PROGRAMS",
+    "register_program",
+    "KernelVersion",
+    "LTS_VERSIONS",
+    "ALL_TESTED_VERSIONS",
+    "DEVELOPMENT_VERSION",
+    "Filesystem",
+    "Inode",
+    "Vfs",
+    "Mount",
+    "MountNamespace",
+    "OpenFile",
+    "PageCache",
+    "BlockDevice",
+    "MemoryBlockDevice",
+    "NativeDisk",
+    "GuestProcess",
+    "GuestProcessTable",
+    "ContainerContext",
+    "Credentials",
+    "CONTAINER_CAPABILITIES",
+    "GuestShell",
+    "GuestTty",
+    "KernelImage",
+    "build_kernel_image",
+    "KERNEL_IMAGE_SIZE",
+    "SymbolSections",
+    "build_symbol_sections",
+    "REQUIRED_KERNEL_FUNCTIONS",
+    "expected_symbol_names",
+    "PlatformDeviceInfo",
+    "ConsoleConfig",
+    "BlockConfig",
+    "UmhArgs",
+    "PosRef",
+    "pack_kernel_read_args",
+    "pack_kernel_write_args",
+    "O_RDONLY",
+    "O_WRONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_EXCL",
+    "O_TRUNC",
+    "O_APPEND",
+    "O_DIRECT",
+]

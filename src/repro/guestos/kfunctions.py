@@ -1,0 +1,229 @@
+"""The kernel functions and structures the side-loaded library uses.
+
+§5 of the paper: "In total, we use twelve kernel functions (two for
+driver registration, four related to file IO, five related to
+process/threads)" (plus ``printk``, which §4.1 mentions for kernel-log
+visibility).  §6.2 adds that two of them (``kernel_read`` and
+``kernel_write``) need per-version call variants and that 2 of the 4
+structures passed to registration functions must be conditioned on the
+kernel version.
+
+This module defines the *contract*: the canonical function list, and
+byte-level codecs for the four structures.  The VMSH library builder
+serialises structures for the version it detected; the guest kernel
+parses them with the codec for the version it actually runs.  A wrong
+version guess therefore produces a parse failure (guest panic), just
+like passing a wrong struct layout to a real kernel would.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import GuestPanicError
+from repro.guestos.version import KernelVersion
+
+# ---------------------------------------------------------------------------
+# The exported functions VMSH's library links against
+# ---------------------------------------------------------------------------
+
+#: name -> category, in the order the library's relocation table uses.
+REQUIRED_KERNEL_FUNCTIONS: Dict[str, str] = {
+    # driver registration (2)
+    "platform_device_register_full": "driver",
+    "put_device": "driver",
+    # file IO (4)
+    "filp_open": "file-io",
+    "filp_close": "file-io",
+    "kernel_read": "file-io",
+    "kernel_write": "file-io",
+    # process / threads (5)
+    "kthread_create_on_node": "process",
+    "wake_up_process": "process",
+    "call_usermodehelper": "process",
+    "kernel_wait4": "process",
+    "do_exit": "process",
+    # logging (1)
+    "printk": "logging",
+}
+
+#: additional exported (data) symbols the guest publishes and VMSH reads.
+EXPORTED_DATA_SYMBOLS: Tuple[str, ...] = ("linux_banner", "init_task", "jiffies")
+
+#: functions whose calling convention varies across versions (§6.2).
+VARIANT_FUNCTIONS: Tuple[str, ...] = ("kernel_read", "kernel_write")
+
+
+def expected_symbol_names() -> List[str]:
+    """All names that must appear in a supported guest's ksymtab."""
+    return sorted(set(REQUIRED_KERNEL_FUNCTIONS) | set(EXPORTED_DATA_SYMBOLS))
+
+
+# ---------------------------------------------------------------------------
+# Structure codecs (the "4 kernel structures")
+# ---------------------------------------------------------------------------
+
+# Device kinds carried in platform_device_info.
+DEVICE_KIND_VIRTIO_MMIO = 0x76696F6D  # 'viom'
+DEVICE_KIND_VIRTIO_PCI = 0x76696F70   # 'viop' (the PCI/MSI-X extension)
+
+KNOWN_DEVICE_KINDS = (DEVICE_KIND_VIRTIO_MMIO, DEVICE_KIND_VIRTIO_PCI)
+
+
+@dataclass(frozen=True)
+class PlatformDeviceInfo:
+    """Struct passed to platform_device_register_full (conditioned)."""
+
+    mmio_base: int
+    irq: int
+    kind: int = DEVICE_KIND_VIRTIO_MMIO
+
+    def pack(self, version: KernelVersion) -> bytes:
+        if version.pdev_info_era == "legacy":
+            return struct.pack("<QII", self.mmio_base, self.irq, self.kind)
+        # "with_properties": a flags word was inserted before the kind
+        # field and the struct grew a pad — the offset of `kind` moved.
+        return struct.pack("<QIIII", self.mmio_base, self.irq, 0x1, self.kind, 0)
+
+    @staticmethod
+    def unpack(data: bytes, version: KernelVersion) -> "PlatformDeviceInfo":
+        if version.pdev_info_era == "legacy":
+            if len(data) != struct.calcsize("<QII"):
+                raise GuestPanicError(
+                    f"platform_device_info: bad size {len(data)} for legacy layout"
+                )
+            mmio_base, irq, kind = struct.unpack("<QII", data)
+        else:
+            if len(data) != struct.calcsize("<QIIII"):
+                raise GuestPanicError(
+                    f"platform_device_info: bad size {len(data)} for "
+                    "with_properties layout"
+                )
+            mmio_base, irq, flags, kind, _pad = struct.unpack("<QIIII", data)
+            if flags != 0x1:
+                raise GuestPanicError("platform_device_info: bad flags word")
+        if kind not in KNOWN_DEVICE_KINDS:
+            raise GuestPanicError(f"platform_device_info: unknown device kind {kind:#x}")
+        return PlatformDeviceInfo(mmio_base=mmio_base, irq=irq, kind=kind)
+
+
+@dataclass(frozen=True)
+class ConsoleConfig:
+    """Console registration config (conditioned struct 2)."""
+
+    cols: int = 80
+    rows: int = 24
+    nr_ports: int = 1
+
+    def pack(self, version: KernelVersion) -> bytes:
+        if version.console_cfg_era == "single":
+            return struct.pack("<II", self.cols, self.rows)
+        return struct.pack("<IIII", self.nr_ports, self.cols, self.rows, 0)
+
+    @staticmethod
+    def unpack(data: bytes, version: KernelVersion) -> "ConsoleConfig":
+        if version.console_cfg_era == "single":
+            if len(data) != struct.calcsize("<II"):
+                raise GuestPanicError("console config: bad size for single-port layout")
+            cols, rows = struct.unpack("<II", data)
+            return ConsoleConfig(cols=cols, rows=rows, nr_ports=1)
+        if len(data) != struct.calcsize("<IIII"):
+            raise GuestPanicError("console config: bad size for multiport layout")
+        nr_ports, cols, rows, _flags = struct.unpack("<IIII", data)
+        return ConsoleConfig(cols=cols, rows=rows, nr_ports=nr_ports)
+
+
+@dataclass(frozen=True)
+class BlockConfig:
+    """Block device registration config (stable across versions)."""
+
+    capacity_sectors: int
+    block_size: int = 512
+    read_only: bool = False
+
+    def pack(self, version: KernelVersion) -> bytes:  # noqa: ARG002 - stable
+        return struct.pack(
+            "<QII", self.capacity_sectors, self.block_size, 1 if self.read_only else 0
+        )
+
+    @staticmethod
+    def unpack(data: bytes, version: KernelVersion) -> "BlockConfig":  # noqa: ARG004
+        if len(data) != struct.calcsize("<QII"):
+            raise GuestPanicError("block config: bad size")
+        capacity, block_size, ro = struct.unpack("<QII", data)
+        return BlockConfig(capacity, block_size, bool(ro))
+
+
+@dataclass(frozen=True)
+class UmhArgs:
+    """call_usermodehelper arguments (stable across versions)."""
+
+    path: str
+    argv: Tuple[str, ...] = ()
+
+    def pack(self, version: KernelVersion) -> bytes:  # noqa: ARG002 - stable
+        out = bytearray()
+        encoded_path = self.path.encode()
+        out += struct.pack("<H", len(encoded_path)) + encoded_path
+        out += struct.pack("<H", len(self.argv))
+        for arg in self.argv:
+            encoded = arg.encode()
+            out += struct.pack("<H", len(encoded)) + encoded
+        return bytes(out)
+
+    @staticmethod
+    def unpack(data: bytes, version: KernelVersion) -> "UmhArgs":  # noqa: ARG004
+        try:
+            (path_len,) = struct.unpack_from("<H", data, 0)
+            pos = 2
+            path = data[pos : pos + path_len].decode()
+            pos += path_len
+            (argc,) = struct.unpack_from("<H", data, pos)
+            pos += 2
+            argv = []
+            for _ in range(argc):
+                (arg_len,) = struct.unpack_from("<H", data, pos)
+                pos += 2
+                argv.append(data[pos : pos + arg_len].decode())
+                pos += arg_len
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise GuestPanicError(f"umh args: malformed ({exc})") from exc
+        return UmhArgs(path=path, argv=tuple(argv))
+
+
+# ---------------------------------------------------------------------------
+# kernel_read / kernel_write argument marshalling (the 2 variant functions)
+# ---------------------------------------------------------------------------
+
+class PosRef:
+    """Models the ``loff_t *pos`` pointer of the 4.14+ convention.
+
+    Passing a plain integer where a kernel expects a pointer (or vice
+    versa) is a guest panic in our ABI model — the detectable analogue
+    of the silent memory corruption a real mismatch would cause.
+    """
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PosRef({self.value})"
+
+
+def pack_kernel_read_args(
+    version: KernelVersion, file_handle: int, count: int, pos: int
+) -> Tuple:
+    """Argument tuple for kernel_read in this version's convention."""
+    if version.kernel_rw_variant == "pos_second":
+        return (file_handle, pos, count)           # (file, pos, count)
+    return (file_handle, count, PosRef(pos))       # (file, count, &pos)
+
+
+def pack_kernel_write_args(
+    version: KernelVersion, file_handle: int, data: bytes, pos: int
+) -> Tuple:
+    if version.kernel_rw_variant == "pos_second":
+        return (file_handle, pos, data)            # (file, pos, buf)
+    return (file_handle, data, PosRef(pos))        # (file, buf, &pos)

@@ -1,0 +1,97 @@
+"""Linux kernel versions and the compatibility eras VMSH must bridge.
+
+The paper's generality evaluation (§6.2, Table 1) attaches VMSH to all
+LTS kernels from v4.4 to v5.10 (plus the v5.12 development target) and
+reports three kinds of cross-version churn, all modelled here:
+
+* the **ksymtab layout** changed twice: absolute 16-byte entries, then
+  4.19's position-relative (PREL32) 8-byte entries, then 5.4's extra
+  namespace field (12-byte entries);
+* **2 of the 10 required kernel functions** (``kernel_read`` and
+  ``kernel_write``) changed their signature (4.14 moved the position
+  argument behind a pointer);
+* **2 of the 4 structures** passed to registration functions need
+  version conditioning.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import List
+
+
+@total_ordering
+@dataclass(frozen=True)
+class KernelVersion:
+    """A kernel version such as v5.10."""
+
+    major: int
+    minor: int
+
+    @staticmethod
+    def parse(text: str) -> "KernelVersion":
+        match = re.fullmatch(r"v?(\d+)\.(\d+)(?:\.\d+)?", text.strip())
+        if match is None:
+            raise ValueError(f"cannot parse kernel version {text!r}")
+        return KernelVersion(int(match.group(1)), int(match.group(2)))
+
+    def __str__(self) -> str:
+        return f"v{self.major}.{self.minor}"
+
+    def __lt__(self, other: "KernelVersion") -> bool:
+        return (self.major, self.minor) < (other.major, other.minor)
+
+    # -- compatibility eras ------------------------------------------------------
+
+    @property
+    def ksymtab_layout(self) -> str:
+        """Symbol table layout era: absolute / prel32 / prel32_ns."""
+        if self >= KernelVersion(5, 4):
+            return "prel32_ns"
+        if self >= KernelVersion(4, 19):
+            return "prel32"
+        return "absolute"
+
+    @property
+    def kernel_rw_variant(self) -> str:
+        """Signature variant of kernel_read/kernel_write.
+
+        Pre-4.14: ``kernel_read(file, pos, buf, count)``;
+        4.14+:    ``kernel_read(file, buf, count, &pos)``.
+        """
+        return "pos_pointer" if self >= KernelVersion(4, 14) else "pos_second"
+
+    @property
+    def pdev_info_era(self) -> str:
+        """Layout era of struct platform_device_info (conditioned struct 1)."""
+        return "with_properties" if self >= KernelVersion(4, 19) else "legacy"
+
+    @property
+    def console_cfg_era(self) -> str:
+        """Layout era of the console registration config (conditioned struct 2)."""
+        return "multiport" if self >= KernelVersion(5, 0) else "single"
+
+    def banner(self) -> str:
+        """Contents of the exported ``linux_banner`` string."""
+        return (
+            f"Linux version {self.major}.{self.minor}.0 "
+            "(builder@repro) (gcc 10.2.0) #1 SMP"
+        )
+
+
+# All long-term-support versions the paper backports to (Table 1),
+# oldest first, plus the development target v5.12.
+LTS_VERSIONS: List[KernelVersion] = [
+    KernelVersion(4, 4),
+    KernelVersion(4, 9),
+    KernelVersion(4, 14),
+    KernelVersion(4, 19),
+    KernelVersion(5, 4),
+    KernelVersion(5, 10),
+]
+
+DEVELOPMENT_VERSION = KernelVersion(5, 12)
+
+ALL_TESTED_VERSIONS: List[KernelVersion] = LTS_VERSIONS + [DEVELOPMENT_VERSION]

@@ -1,0 +1,45 @@
+"""Simulated host: kernel, processes, /proc, ptrace, seccomp, eBPF."""
+
+from repro.host.ebpf import MemslotRecord, MemslotSnooper
+from repro.host.kernel import HostKernel
+from repro.host.process import (
+    AddressSpace,
+    EventFd,
+    FdTable,
+    FileObject,
+    Mapping,
+    Process,
+    SocketPair,
+    Thread,
+)
+from repro.host.procfs import ProcFs
+from repro.host.ptrace import PtraceSession, attach
+from repro.host.seccomp import (
+    SeccompFilter,
+    VMM_BASELINE_SYSCALLS,
+    VMSH_INJECTED_SYSCALLS,
+    firecracker_vcpu_filter,
+    firecracker_vmm_filter,
+)
+
+__all__ = [
+    "HostKernel",
+    "Process",
+    "Thread",
+    "FileObject",
+    "EventFd",
+    "SocketPair",
+    "FdTable",
+    "AddressSpace",
+    "Mapping",
+    "ProcFs",
+    "PtraceSession",
+    "attach",
+    "SeccompFilter",
+    "firecracker_vcpu_filter",
+    "firecracker_vmm_filter",
+    "VMM_BASELINE_SYSCALLS",
+    "VMSH_INJECTED_SYSCALLS",
+    "MemslotSnooper",
+    "MemslotRecord",
+]

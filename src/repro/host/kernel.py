@@ -1,0 +1,254 @@
+"""The simulated host Linux kernel.
+
+This is the trusted layer of the paper's threat model: it owns the
+process table, dispatches system calls (with seccomp enforcement and
+ptrace accounting), implements the inter-process memory syscalls VMSH
+relies on, and hosts attach points for eBPF programs such as the
+memslot snooper attached to ``kvm_vm_ioctl`` (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    HostError,
+    NoSuchProcessError,
+    PermissionDeniedError,
+)
+from repro.host.process import EventFd, FileObject, Process, SocketPair, Thread
+from repro.sim.clock import Clock
+from repro.sim.costs import CostModel
+from repro.sim.trace import NullTracer, Tracer
+
+
+class HostKernel:
+    """Host kernel: processes, syscalls, eBPF attach points."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        costs: Optional[CostModel] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        from repro.arch import X86_64
+
+        self.clock = clock if clock is not None else Clock()
+        self.costs = costs if costs is not None else CostModel(self.clock)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        #: host CPU architecture (VMSH is built per-arch, §5)
+        self.arch = X86_64
+        self.processes: Dict[int, Process] = {}
+        # eBPF programs by kernel attach point, e.g. "kvm_vm_ioctl".
+        self._ebpf_programs: Dict[str, List[Callable[..., None]]] = {}
+        # Per-thread syscall trace hooks installed via ptrace
+        # (tid -> callback(thread, syscall_name, phase)).
+        self._syscall_hooks: Dict[int, Callable[[Thread, str, str], None]] = {}
+
+    # -- process management ----------------------------------------------------
+
+    def spawn_process(self, name: str, uid: int = 0) -> Process:
+        process = Process(name, host=self, uid=uid)
+        self.processes[process.pid] = process
+        self.tracer.emit("host", "spawn", pid=process.pid, name=name)
+        return process
+
+    def process(self, pid: int) -> Process:
+        try:
+            proc = self.processes[pid]
+        except KeyError:
+            raise NoSuchProcessError(f"no process with pid {pid}") from None
+        if proc.exited:
+            raise NoSuchProcessError(f"process {pid} has exited")
+        return proc
+
+    def exit_process(self, pid: int) -> None:
+        self.process(pid).exited = True
+        self.tracer.emit("host", "exit", pid=pid)
+
+    # -- eBPF --------------------------------------------------------------------
+
+    def ebpf_attach(self, attach_point: str, program: Callable[..., None], caller: Process) -> None:
+        """Attach ``program`` to a kernel function (requires CAP_BPF)."""
+        if not caller.has_capability("CAP_BPF"):
+            raise PermissionDeniedError(
+                f"{caller.name} lacks CAP_BPF to attach to {attach_point}"
+            )
+        self._ebpf_programs.setdefault(attach_point, []).append(program)
+        self.tracer.emit("host", "ebpf_attach", point=attach_point, by=caller.name)
+
+    def ebpf_detach(self, attach_point: str, program: Callable[..., None]) -> None:
+        programs = self._ebpf_programs.get(attach_point, [])
+        if program in programs:
+            programs.remove(program)
+
+    def ebpf_fire(self, attach_point: str, **context: Any) -> None:
+        """Invoked by kernel code paths when an attach point is hit."""
+        for program in self._ebpf_programs.get(attach_point, []):
+            program(**context)
+
+    # -- ptrace syscall tracing accounting ------------------------------------------
+
+    def install_syscall_hook(
+        self, thread: Thread, hook: Callable[[Thread, str, str], None]
+    ) -> None:
+        self._syscall_hooks[thread.tid] = hook
+
+    def remove_syscall_hook(self, thread: Thread) -> None:
+        self._syscall_hooks.pop(thread.tid, None)
+
+    def thread_is_traced(self, thread: Thread) -> bool:
+        return thread.tid in self._syscall_hooks
+
+    # -- syscall dispatch -----------------------------------------------------------
+
+    def syscall(self, thread: Thread, name: str, *args: Any, injected: bool = False) -> Any:
+        """Execute syscall ``name`` in ``thread``'s context.
+
+        Seccomp applies to injected syscalls exactly as to native ones
+        (the kernel cannot tell them apart — which is why Firecracker's
+        filters break naive injection, §6.2).  If the thread is under
+        ptrace syscall tracing, the tracer is stopped at entry and exit
+        and pays two ptrace stops — the mechanism behind the
+        ``wrap_syscall`` overhead in Fig. 6.
+        """
+        if thread.seccomp_filter is not None:
+            thread.seccomp_filter.check(name, thread.name)
+        hook = self._syscall_hooks.get(thread.tid)
+        if hook is not None:
+            self.costs.ptrace_stop()
+            hook(thread, name, "entry")
+        self.costs.syscall()
+        result = self._dispatch(thread, name, args)
+        if hook is not None:
+            self.costs.ptrace_stop()
+            hook(thread, name, "exit")
+        return result
+
+    def _dispatch(self, thread: Thread, name: str, args: Tuple[Any, ...]) -> Any:
+        try:
+            impl = getattr(self, f"_sys_{name}")
+        except AttributeError:
+            raise HostError(f"unimplemented syscall {name!r}") from None
+        return impl(thread, *args)
+
+    # -- syscall implementations -------------------------------------------------------
+
+    def _sys_mmap(self, thread: Thread, size: int, name: str = "anon") -> int:
+        mapping = thread.process.address_space.mmap(size, name=name)
+        return mapping.start
+
+    def _sys_munmap(self, thread: Thread, addr: int) -> int:
+        thread.process.address_space.munmap(addr)
+        return 0
+
+    def _sys_ioctl(self, thread: Thread, fd: int, request: str, arg: Any = None) -> Any:
+        obj = thread.process.fds.get(fd)
+        ioctl = getattr(obj, "ioctl", None)
+        if ioctl is None:
+            raise HostError(f"fd {fd} ({obj.proc_link}) does not support ioctl")
+        return ioctl(request, arg, thread)
+
+    def _sys_process_vm_readv(
+        self, thread: Thread, pid: int, remote_addr: int, length: int
+    ) -> bytes:
+        self._check_vm_access(thread.process, pid)
+        remote = self.process(pid)
+        self.costs.procvm_copy(length)
+        return remote.address_space.read(remote_addr, length)
+
+    def _sys_process_vm_writev(
+        self, thread: Thread, pid: int, remote_addr: int, data: bytes
+    ) -> int:
+        self._check_vm_access(thread.process, pid)
+        remote = self.process(pid)
+        self.costs.procvm_copy(len(data))
+        remote.address_space.write(remote_addr, data)
+        return len(data)
+
+    def _sys_eventfd2(self, thread: Thread) -> int:
+        return thread.process.fds.install(EventFd())
+
+    def _sys_socketpair(self, thread: Thread) -> Tuple[int, int]:
+        a, b = SocketPair.pair()
+        return thread.process.fds.install(a), thread.process.fds.install(b)
+
+    def _sys_sendmsg(
+        self,
+        thread: Thread,
+        fd: int,
+        message: Any,
+        attached_fds: Optional[List[int]] = None,
+    ) -> int:
+        """sendmsg with SCM_RIGHTS-style fd passing.
+
+        The sideloader uses this to ship fds created inside the
+        hypervisor (irqfd eventfds, ioregionfd sockets) back to the
+        VMSH host process (§5).
+        """
+        sock = thread.process.fds.get(fd)
+        if not isinstance(sock, SocketPair):
+            raise HostError(f"fd {fd} is not a socket")
+        objects = [thread.process.fds.get(f) for f in (attached_fds or [])]
+        sock.send({"payload": message, "fd_objects": objects})
+        return 0
+
+    def _sys_recvmsg(self, thread: Thread, fd: int) -> Tuple[Any, List[int]]:
+        sock = thread.process.fds.get(fd)
+        if not isinstance(sock, SocketPair):
+            raise HostError(f"fd {fd} is not a socket")
+        msg = sock.recv()
+        new_fds = [thread.process.fds.install(obj) for obj in msg["fd_objects"]]
+        return msg["payload"], new_fds
+
+    def _sys_pread(self, thread: Thread, fd: int, offset: int, length: int) -> bytes:
+        obj = thread.process.fds.get(fd)
+        io_read = getattr(obj, "io_read", None)
+        if io_read is None:
+            raise HostError(f"fd {fd} ({obj.proc_link}) does not support pread")
+        return io_read(offset, length)
+
+    def _sys_pwrite(self, thread: Thread, fd: int, offset: int, data: bytes) -> int:
+        obj = thread.process.fds.get(fd)
+        io_write = getattr(obj, "io_write", None)
+        if io_write is None:
+            raise HostError(f"fd {fd} ({obj.proc_link}) does not support pwrite")
+        io_write(offset, data)
+        return len(data)
+
+    def _sys_fsync(self, thread: Thread, fd: int) -> int:
+        obj = thread.process.fds.get(fd)
+        io_sync = getattr(obj, "io_sync", None)
+        if io_sync is None:
+            raise HostError(f"fd {fd} ({obj.proc_link}) does not support fsync")
+        io_sync()
+        return 0
+
+    def _sys_read(self, thread: Thread, fd: int) -> Any:
+        obj = thread.process.fds.get(fd)
+        if isinstance(obj, EventFd):
+            return obj.drain()
+        if isinstance(obj, SocketPair):
+            return obj.recv()
+        raise HostError(f"fd {fd} ({obj.proc_link}) does not support read")
+
+    def _sys_write(self, thread: Thread, fd: int, data: Any = 1) -> int:
+        obj = thread.process.fds.get(fd)
+        if isinstance(obj, EventFd):
+            obj.signal()
+            return 8
+        if isinstance(obj, SocketPair):
+            obj.send(data)
+            return len(data) if hasattr(data, "__len__") else 8
+        raise HostError(f"fd {fd} ({obj.proc_link}) does not support write")
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _check_vm_access(self, caller: Process, target_pid: int) -> None:
+        target = self.process(target_pid)
+        if caller.uid != 0 and caller.uid != target.uid and not caller.has_capability(
+            "CAP_SYS_PTRACE"
+        ):
+            raise PermissionDeniedError(
+                f"{caller.name} may not access memory of pid {target_pid}"
+            )

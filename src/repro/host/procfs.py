@@ -1,0 +1,53 @@
+"""A minimal ``/proc`` view of the simulated host.
+
+VMSH's sideloader never receives a VM handle from anyone: it discovers
+the hypervisor's KVM file descriptors by iterating
+``/proc/<pid>/fd`` and resolving the symlinks until it finds
+``anon_inode:kvm-vm`` and ``anon_inode:kvm-vcpu:*`` entries (§5).
+This module provides exactly that read-only surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.errors import NoSuchProcessError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.host.kernel import HostKernel
+
+
+class ProcFs:
+    """Read-only /proc accessor over a :class:`HostKernel`."""
+
+    def __init__(self, kernel: "HostKernel"):
+        self._kernel = kernel
+
+    def pids(self) -> List[int]:
+        """All live process IDs, ascending (``ls /proc``)."""
+        return sorted(p.pid for p in self._kernel.processes.values() if not p.exited)
+
+    def comm(self, pid: int) -> str:
+        """``/proc/<pid>/comm``."""
+        return self._process(pid).name
+
+    def fd_links(self, pid: int) -> Dict[int, str]:
+        """``readlink`` of every entry in ``/proc/<pid>/fd``."""
+        process = self._process(pid)
+        return {fd: obj.proc_link for fd, obj in process.fds.items()}
+
+    def tasks(self, pid: int) -> List[int]:
+        """Thread IDs from ``/proc/<pid>/task``."""
+        return [t.tid for t in self._process(pid).threads]
+
+    def task_comm(self, pid: int, tid: int) -> str:
+        for t in self._process(pid).threads:
+            if t.tid == tid:
+                return t.name
+        raise NoSuchProcessError(f"no task {tid} in process {pid}")
+
+    def _process(self, pid: int):
+        for p in self._kernel.processes.values():
+            if p.pid == pid and not p.exited:
+                return p
+        raise NoSuchProcessError(f"no process with pid {pid}")

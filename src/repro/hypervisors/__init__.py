@@ -1,0 +1,21 @@
+"""Simulated KVM userspace hypervisors (Table 1)."""
+
+from repro.hypervisors.base import Hypervisor
+from repro.hypervisors.flavors import (
+    ALL_HYPERVISOR_CLASSES,
+    CloudHypervisor,
+    Crosvm,
+    Firecracker,
+    Kvmtool,
+    Qemu,
+)
+
+__all__ = [
+    "Hypervisor",
+    "Qemu",
+    "Kvmtool",
+    "Firecracker",
+    "Crosvm",
+    "CloudHypervisor",
+    "ALL_HYPERVISOR_CLASSES",
+]

@@ -1,0 +1,123 @@
+"""Sparse guest physical memory.
+
+Guest physical memory is modelled as a sparse page store: only pages
+that have been written exist as real ``bytearray`` objects; reads of
+untouched pages return zeros, like freshly faulted anonymous memory.
+All kernel data structures that the paper's binary analysis inspects
+(page tables, ``.ksymtab``, the side-loaded library blob) live here as
+real bytes, so the host-side parsers in :mod:`repro.core` operate on
+genuine serialized data, not on Python object graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import MemoryError_
+from repro.units import PAGE_SHIFT, PAGE_SIZE
+
+
+class PhysicalMemory:
+    """A sparse, bounds-checked byte-addressable physical memory."""
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0 or size_bytes % PAGE_SIZE != 0:
+            raise ValueError("physical memory size must be a positive page multiple")
+        self.size = size_bytes
+        self._pages: Dict[int, bytearray] = {}
+
+    # -- page helpers ---------------------------------------------------------
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise MemoryError_(
+                f"physical access [{addr:#x}, {addr + length:#x}) outside "
+                f"memory of size {self.size:#x}"
+            )
+
+    def _page(self, index: int, create: bool) -> bytearray | None:
+        page = self._pages.get(index)
+        if page is None and create:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    # -- byte access -----------------------------------------------------------
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes at physical address ``addr``."""
+        self._check_range(addr, length)
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            cur = addr + pos
+            page_index = cur >> PAGE_SHIFT
+            offset = cur & (PAGE_SIZE - 1)
+            chunk = min(length - pos, PAGE_SIZE - offset)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[pos : pos + chunk] = page[offset : offset + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at physical address ``addr``."""
+        self._check_range(addr, len(data))
+        pos = 0
+        while pos < len(data):
+            cur = addr + pos
+            page_index = cur >> PAGE_SHIFT
+            offset = cur & (PAGE_SIZE - 1)
+            chunk = min(len(data) - pos, PAGE_SIZE - offset)
+            page = self._page(page_index, create=True)
+            assert page is not None
+            page[offset : offset + chunk] = data[pos : pos + chunk]
+            pos += chunk
+
+    # -- word access (little-endian, matching x86) -------------------------------
+
+    def read_u16(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 2), "little")
+
+    def read_u32(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def read_i32(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 4), "little", signed=True)
+
+    def write_u16(self, addr: int, value: int) -> None:
+        self.write(addr, (value & 0xFFFF).to_bytes(2, "little"))
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.write(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+
+    def write_i32(self, addr: int, value: int) -> None:
+        self.write(addr, value.to_bytes(4, "little", signed=True))
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages actually materialised."""
+        return len(self._pages)
+
+    def touched_ranges(self) -> Iterator[Tuple[int, int]]:
+        """Yield (start, end) physical byte ranges of materialised pages."""
+        indices = sorted(self._pages)
+        start = None
+        prev = None
+        for idx in indices:
+            if start is None:
+                start = idx
+            elif prev is not None and idx != prev + 1:
+                yield (start << PAGE_SHIFT, (prev + 1) << PAGE_SHIFT)
+                start = idx
+            prev = idx
+        if start is not None and prev is not None:
+            yield (start << PAGE_SHIFT, (prev + 1) << PAGE_SHIFT)

@@ -1,0 +1,19 @@
+"""Deterministic simulation substrate: clock, cost model, RNG, tracing."""
+
+from repro.sim.clock import Clock, Stopwatch, TimeSeries
+from repro.sim.costs import CostModel, CostParams
+from repro.sim.rng import derive_seed, stream
+from repro.sim.trace import Event, NullTracer, Tracer
+
+__all__ = [
+    "Clock",
+    "Stopwatch",
+    "TimeSeries",
+    "CostModel",
+    "CostParams",
+    "derive_seed",
+    "stream",
+    "Event",
+    "Tracer",
+    "NullTracer",
+]

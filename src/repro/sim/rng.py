@@ -1,0 +1,26 @@
+"""Deterministic random number generation helpers.
+
+Each subsystem derives its own :class:`random.Random` stream from a
+master seed plus a label, so adding randomness to one component never
+perturbs another component's stream (a classic simulation-repeatability
+pitfall).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+MASTER_SEED = 0x564D5348  # "VMSH" in ASCII
+
+
+def derive_seed(label: str, master: int = MASTER_SEED) -> int:
+    """Derive a stable 64-bit seed for ``label`` from ``master``."""
+    digest = hashlib.sha256(f"{master:#x}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def stream(label: str, master: int = MASTER_SEED) -> random.Random:
+    """Independent deterministic RNG stream for a named subsystem."""
+    return random.Random(derive_seed(label, master))

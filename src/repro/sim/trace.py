@@ -1,0 +1,77 @@
+"""Structured event tracing for the simulation.
+
+A :class:`Tracer` collects typed events (side-load phases, MMIO exits,
+virtqueue kicks, mounts, ...).  Tests use it to assert that mechanisms
+fired in the expected order; the examples use it to narrate what VMSH
+is doing, mirroring the kernel-log visibility the paper describes
+("VMSH is intentionally designed so that its own execution is visible
+to the guest").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single trace event."""
+
+    time_ns: int
+    category: str
+    name: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time_ns:>12} ns] {self.category}/{self.name} {extras}".rstrip()
+
+
+class Tracer:
+    """Collects :class:`Event` records against a virtual clock."""
+
+    def __init__(self, clock: Any = None, max_events: int = 1_000_000):
+        self._clock = clock
+        self._max_events = max_events
+        self.events: List[Event] = []
+        self.enabled = True
+
+    def emit(self, category: str, name: str, /, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self._max_events:
+            # Drop oldest half to bound memory on very long runs.
+            del self.events[: self._max_events // 2]
+        now = self._clock.now if self._clock is not None else 0
+        self.events.append(Event(now, category, name, detail))
+
+    def find(self, category: Optional[str] = None, name: Optional[str] = None) -> List[Event]:
+        """All events matching the given category and/or name."""
+        return [
+            e
+            for e in self.events
+            if (category is None or e.category == category)
+            and (name is None or e.name == name)
+        ]
+
+    def names(self, category: str) -> List[str]:
+        """Ordered event names within one category."""
+        return [e.name for e in self.events if e.category == category]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTracer(Tracer):
+    """Tracer that drops everything (for hot benchmark loops)."""
+
+    def __init__(self) -> None:
+        super().__init__(clock=None)
+        self.enabled = False
+
+    def emit(self, category: str, name: str, /, **detail: Any) -> None:  # noqa: D102
+        return

@@ -1,0 +1,113 @@
+"""One-stop testbed wiring: host kernel, KVM, hypervisors, VMSH.
+
+Mirrors the paper's experiment setup (§6): a Linux host (optionally
+with the ioregionfd patch [109]), a dedicated NVMe drive for IO
+benchmarks, and pinned-vCPU hypervisors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.guestos.version import KernelVersion
+from repro.host.files import HostFile
+from repro.host.kernel import HostKernel
+from repro.hypervisors.base import Hypervisor
+from repro.hypervisors.flavors import (
+    CloudHypervisor,
+    Crosvm,
+    Firecracker,
+    Kvmtool,
+    Qemu,
+)
+from repro.kvm.api import KvmSystem
+from repro.sim.clock import Clock
+from repro.sim.costs import CostModel, CostParams
+from repro.sim.trace import Tracer
+from repro.units import GiB, MiB
+
+
+class Testbed:
+    """A host machine ready to run VMs and attach VMSH."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        ioregionfd: bool = True,
+        cost_params: Optional[CostParams] = None,
+        trace: bool = False,
+        arch: str = "x86_64",
+    ):
+        from repro.arch import arch_by_name
+
+        self.clock = Clock()
+        self.costs = CostModel(self.clock, cost_params)
+        self.tracer = Tracer(self.clock) if trace else None
+        self.host = HostKernel(self.clock, self.costs, self.tracer)
+        self.arch = arch_by_name(arch)
+        self.host.arch = self.arch
+        self.kvm = KvmSystem(
+            self.host, ioregionfd_supported=ioregionfd, arch=self.arch
+        )
+        self._disk_counter = 0
+
+    # -- storage -----------------------------------------------------------------
+
+    def nvme_partition(self, size: int = 2 * GiB, direct: bool = True) -> HostFile:
+        """A fresh partition on the dedicated NVMe drive (TRIMmed)."""
+        self._disk_counter += 1
+        return HostFile(
+            f"/dev/nvme0n1p{self._disk_counter}",
+            size=size,
+            costs=self.costs,
+            direct=direct,
+        )
+
+    # -- hypervisors -------------------------------------------------------------
+
+    def launch(
+        self,
+        cls: Type[Hypervisor],
+        guest_version: KernelVersion = KernelVersion(5, 10),
+        vcpus: int = 1,
+        ram_bytes: int = 512 * MiB,
+        disk: Optional[HostFile] = None,
+        root_files: Optional[Dict[str, Optional[bytes]]] = None,
+        **kwargs,
+    ) -> Hypervisor:
+        hv = cls(
+            self.host,
+            self.kvm,
+            guest_version=guest_version,
+            vcpus=vcpus,
+            ram_bytes=ram_bytes,
+            root_files=root_files,
+            **kwargs,
+        )
+        if disk is not None:
+            hv.add_disk(disk)
+        hv.launch()
+        return hv
+
+    def launch_qemu(self, **kwargs) -> Qemu:
+        return self.launch(Qemu, **kwargs)  # type: ignore[return-value]
+
+    def launch_firecracker(self, **kwargs) -> Firecracker:
+        return self.launch(Firecracker, **kwargs)  # type: ignore[return-value]
+
+    def launch_crosvm(self, **kwargs) -> Crosvm:
+        return self.launch(Crosvm, **kwargs)  # type: ignore[return-value]
+
+    def launch_kvmtool(self, **kwargs) -> Kvmtool:
+        return self.launch(Kvmtool, **kwargs)  # type: ignore[return-value]
+
+    def launch_cloud_hypervisor(self, **kwargs) -> CloudHypervisor:
+        return self.launch(CloudHypervisor, **kwargs)  # type: ignore[return-value]
+
+    # -- VMSH -----------------------------------------------------------------------
+
+    def vmsh(self, image: Optional[bytes] = None):
+        from repro.core.vmsh import Vmsh
+
+        return Vmsh(self.host, image=image)

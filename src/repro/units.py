@@ -1,0 +1,67 @@
+"""Size and time units used throughout the simulation.
+
+Sizes are plain integers in bytes; times are integers in nanoseconds.
+Keeping both integral makes the simulation fully deterministic (no
+floating-point drift between runs or platforms).
+"""
+
+from __future__ import annotations
+
+# Sizes -------------------------------------------------------------------
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+PAGE_SIZE = 4 * KiB
+PAGE_SHIFT = 12
+SECTOR_SIZE = 512
+
+# Times (all expressed in nanoseconds) --------------------------------------
+
+NSEC = 1
+USEC = 1_000
+MSEC = 1_000_000
+SEC = 1_000_000_000
+
+
+def pages(nbytes: int) -> int:
+    """Number of 4 KiB pages needed to hold ``nbytes`` (rounded up)."""
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def page_align_down(addr: int) -> int:
+    """Round ``addr`` down to a page boundary."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_align_up(addr: int) -> int:
+    """Round ``addr`` up to a page boundary."""
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def sectors(nbytes: int) -> int:
+    """Number of 512-byte sectors needed to hold ``nbytes``."""
+    return (nbytes + SECTOR_SIZE - 1) // SECTOR_SIZE
+
+
+def fmt_size(nbytes: int) -> str:
+    """Human-readable size, e.g. ``fmt_size(3 * MiB) == '3.0 MiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(ns: int) -> str:
+    """Human-readable duration, e.g. ``fmt_time(1500) == '1.50 us'``."""
+    if ns < USEC:
+        return f"{ns} ns"
+    if ns < MSEC:
+        return f"{ns / USEC:.2f} us"
+    if ns < SEC:
+        return f"{ns / MSEC:.2f} ms"
+    return f"{ns / SEC:.3f} s"

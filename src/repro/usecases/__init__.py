@@ -1,0 +1,40 @@
+"""The three real-world use-cases of §6.5."""
+
+from repro.usecases.rescue import RescueReport, RescueService, verify_password_reset
+from repro.usecases.scanner import (
+    DEFAULT_SECDB,
+    ScanReport,
+    SecurityScanner,
+    Vulnerability,
+    alpine_installed_db,
+    parse_installed_db,
+    version_less,
+)
+from repro.usecases.monitoring import GuestMonitor, GuestSample
+from repro.usecases.serverless import (
+    DebugSession,
+    LambdaInstance,
+    LogLine,
+    ServerlessDebugger,
+    VHivePlatform,
+)
+
+__all__ = [
+    "RescueService",
+    "RescueReport",
+    "verify_password_reset",
+    "SecurityScanner",
+    "ScanReport",
+    "Vulnerability",
+    "DEFAULT_SECDB",
+    "alpine_installed_db",
+    "parse_installed_db",
+    "version_less",
+    "GuestMonitor",
+    "GuestSample",
+    "VHivePlatform",
+    "ServerlessDebugger",
+    "DebugSession",
+    "LambdaInstance",
+    "LogLine",
+]

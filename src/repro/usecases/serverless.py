@@ -1,0 +1,192 @@
+"""Use-case #1: serverless debug shell in a vHive-like stack (§6.5).
+
+"We integrate VMSH into vHive, a knative-compliant stack running
+serverless workloads in slim Firecracker-containerd VMs.  Thereafter,
+we parse logs from vHive's lambda functions for errors, and then
+locate the Firecracker process that hosts the faulty lambda in order
+to attach to its hosting VM with VMSH and provide an interactive
+shell to it.  While the user interacts with this shell ... our
+integration prevents shutdown of the lambda-function's VM by
+scale-down events."
+
+The platform here is a faithful control-plane model: per-function
+Firecracker microVMs, invocation logs, idle-based scale-down, and a
+debug path that parses the logs, finds the hosting VMM *by pid* and
+attaches VMSH (Firecracker runs with its seccomp filter disabled, as
+the paper does for now).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.vmsh import Vmsh, VmshSession
+from repro.errors import VmshError
+from repro.guestos.process import Credentials, GuestProcess
+from repro.hypervisors.flavors import Firecracker
+from repro.image.builder import build_serverless_debug_image
+from repro.testbed import Testbed
+from repro.units import MSEC, SEC
+
+
+@dataclass
+class LogLine:
+    time_ns: int
+    instance_id: str
+    level: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time_ns}] {self.instance_id} {self.level}: {self.message}"
+
+
+@dataclass
+class LambdaInstance:
+    """One warm microVM hosting one function."""
+
+    instance_id: str
+    function: str
+    hypervisor: Firecracker
+    last_used_ns: int
+    pinned: bool = False
+    terminated: bool = False
+
+
+class VHivePlatform:
+    """A miniature vHive: functions, microVM pool, logs, scale-down."""
+
+    IDLE_TIMEOUT_NS = 2 * SEC
+
+    def __init__(self, testbed: Testbed):
+        self.testbed = testbed
+        self._functions: Dict[str, Callable[[dict], dict]] = {}
+        self._instances: Dict[str, LambdaInstance] = {}
+        self._instance_counter = itertools.count(1)
+        self.logs: List[LogLine] = []
+
+    # -- deployment / invocation --------------------------------------------------
+
+    def deploy(self, name: str, handler: Callable[[dict], dict]) -> None:
+        self._functions[name] = handler
+
+    def invoke(self, name: str, payload: dict) -> Optional[dict]:
+        """Invoke a function; errors are logged, not raised (FaaS-style)."""
+        if name not in self._functions:
+            raise VmshError(f"function {name!r} is not deployed")
+        instance = self._instance_for(name)
+        instance.last_used_ns = self.testbed.clock.now
+        self.testbed.clock.advance(3 * MSEC)  # request routing + startup
+        self._log(instance, "INFO", f"invoke {name} payload_keys={sorted(payload)}")
+        try:
+            result = self._functions[name](payload)
+        except Exception as exc:  # noqa: BLE001 - lambda errors become logs
+            self._log(
+                instance, "ERROR", f"{type(exc).__name__}: {exc}"
+            )
+            return None
+        self._log(instance, "INFO", "invoke ok")
+        return result
+
+    def _instance_for(self, name: str) -> LambdaInstance:
+        for instance in self._instances.values():
+            if instance.function == name and not instance.terminated:
+                return instance
+        # Cold start: boot a slim Firecracker microVM for the function.
+        hv = self.testbed.launch_firecracker(seccomp=False)
+        lambda_proc = GuestProcess(
+            f"lambda-{name}",
+            hv.guest.root_ns,
+            creds=Credentials(uid=1000, gid=1000),
+            cgroup=f"/faas/{name}",
+            pid_ns=f"lambda-{name}",
+        )
+        hv.guest.processes.add(lambda_proc)
+        instance = LambdaInstance(
+            instance_id=f"inst-{next(self._instance_counter)}",
+            function=name,
+            hypervisor=hv,
+            last_used_ns=self.testbed.clock.now,
+        )
+        self._instances[instance.instance_id] = instance
+        self._log(instance, "INFO", f"cold start for {name} (vmm pid {hv.pid})")
+        return instance
+
+    def _log(self, instance: LambdaInstance, level: str, message: str) -> None:
+        self.logs.append(
+            LogLine(self.testbed.clock.now, instance.instance_id, level, message)
+        )
+
+    # -- scale-down -------------------------------------------------------------------
+
+    def scale_down(self) -> List[str]:
+        """Terminate idle instances — unless pinned by a debug session."""
+        now = self.testbed.clock.now
+        terminated = []
+        for instance in self._instances.values():
+            if instance.terminated or instance.pinned:
+                continue
+            if now - instance.last_used_ns >= self.IDLE_TIMEOUT_NS:
+                instance.terminated = True
+                self.testbed.host.exit_process(instance.hypervisor.pid)
+                self._log(instance, "INFO", "scaled down")
+                terminated.append(instance.instance_id)
+        return terminated
+
+    def instance(self, instance_id: str) -> LambdaInstance:
+        return self._instances[instance_id]
+
+    def live_instances(self) -> List[LambdaInstance]:
+        return [i for i in self._instances.values() if not i.terminated]
+
+
+@dataclass
+class DebugSession:
+    """A VMSH shell pinned to a faulty lambda instance."""
+
+    instance: LambdaInstance
+    session: VmshSession
+    error_log: LogLine
+
+    def close(self) -> None:
+        self.session.detach()
+        self.instance.pinned = False
+
+
+class ServerlessDebugger:
+    """The paper's vHive integration: log-driven VMSH attach."""
+
+    def __init__(self, platform: VHivePlatform, vmsh: Optional[Vmsh] = None):
+        self.platform = platform
+        self.vmsh = vmsh if vmsh is not None else platform.testbed.vmsh()
+
+    def find_faulty_instance(self) -> Optional[LogLine]:
+        """Parse platform logs for the most recent lambda error."""
+        for line in reversed(self.platform.logs):
+            if line.level == "ERROR":
+                return line
+        return None
+
+    def debug_shell(self) -> DebugSession:
+        """Attach an interactive shell to the faulty lambda's VM."""
+        error = self.find_faulty_instance()
+        if error is None:
+            raise VmshError("no lambda errors in the platform logs")
+        instance = self.platform.instance(error.instance_id)
+        if instance.terminated:
+            raise VmshError(
+                f"instance {instance.instance_id} already scaled down — too late"
+            )
+        # Pin first so a concurrent scale-down can't kill the VM under us.
+        instance.pinned = True
+        try:
+            session = self.vmsh.attach(
+                instance.hypervisor.pid,
+                image=build_serverless_debug_image(),
+                command="/bin/sh",
+            )
+        except Exception:
+            instance.pinned = False
+            raise
+        return DebugSession(instance=instance, session=session, error_log=error)

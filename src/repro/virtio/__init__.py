@@ -1,0 +1,52 @@
+"""VirtIO: virtqueues in guest memory, MMIO transport, blk/console/9p."""
+
+from repro.virtio import constants
+from repro.virtio.blk import (
+    BlockBackend,
+    GuestVirtioBlkDisk,
+    MappedImageBackend,
+    RawDiskBackend,
+    VirtioBlkDevice,
+)
+from repro.virtio.console import GuestVirtioConsole, Pts, VirtioConsoleDevice
+from repro.virtio.memio import (
+    BytewiseRemoteAccessor,
+    GpaTranslator,
+    GuestMemoryAccessor,
+    InProcessAccessor,
+    RemoteProcessAccessor,
+)
+from repro.virtio.mmio import GuestVirtioTransport, VirtioMmioDevice
+from repro.virtio.p9 import P9Filesystem
+from repro.virtio.pci import GuestPciProbe, PciVirtioFunction, slot_address
+from repro.virtio.vmexec import ExecResult, GuestVmExecDriver, VmExecDevice
+from repro.virtio.vring import Descriptor, DeviceRing, DriverRing
+
+__all__ = [
+    "constants",
+    "DriverRing",
+    "DeviceRing",
+    "Descriptor",
+    "VirtioMmioDevice",
+    "GuestVirtioTransport",
+    "VirtioBlkDevice",
+    "GuestVirtioBlkDisk",
+    "BlockBackend",
+    "RawDiskBackend",
+    "MappedImageBackend",
+    "VirtioConsoleDevice",
+    "GuestVirtioConsole",
+    "Pts",
+    "P9Filesystem",
+    "PciVirtioFunction",
+    "GuestPciProbe",
+    "slot_address",
+    "VmExecDevice",
+    "GuestVmExecDriver",
+    "ExecResult",
+    "GuestMemoryAccessor",
+    "InProcessAccessor",
+    "RemoteProcessAccessor",
+    "BytewiseRemoteAccessor",
+    "GpaTranslator",
+]

@@ -1,0 +1,341 @@
+"""virtio-blk: device backends and the guest block driver.
+
+The same device class serves two masters:
+
+* **qemu-blk** — instantiated inside the hypervisor process with an
+  :class:`~repro.virtio.memio.InProcessAccessor` and a raw-disk
+  backend whose IO goes through hypervisor syscalls (and therefore
+  gets taxed by wrap_syscall tracing, Fig. 6);
+* **vmsh-blk** — instantiated inside the VMSH process with a
+  :class:`~repro.virtio.memio.RemoteProcessAccessor` and a
+  memory-mapped file-system image backend (§5: "we optimise the
+  performance by mapping the block device as a file into memory").
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional
+
+from repro.errors import VirtioError
+from repro.guestos.blockcore import BlockDevice
+from repro.host.kernel import HostKernel
+from repro.host.process import Thread
+from repro.sim.costs import CostModel
+from repro.units import SECTOR_SIZE
+from repro.virtio import constants as C
+from repro.virtio.memio import GuestMemoryAccessor
+from repro.virtio.mmio import GuestVirtioTransport, VirtioMmioDevice
+
+BLK_HEADER_SIZE = 16
+
+
+# ---------------------------------------------------------------------------
+# Storage backends (host side)
+# ---------------------------------------------------------------------------
+
+class BlockBackend:
+    """Host-side storage behind a virtio-blk device."""
+
+    capacity_sectors: int = 0
+
+    def read(self, sector: int, count: int) -> bytes:
+        raise NotImplementedError
+
+    def write(self, sector: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Durability barrier; default no-op."""
+
+
+class RawDiskBackend(BlockBackend):
+    """Hypervisor backend: pread/pwrite on a raw host disk/file.
+
+    Every IO is a syscall by the hypervisor's iothread, which is the
+    reason qemu-blk slows down when VMSH's wrap_syscall tracer is
+    attached to the hypervisor: the tracer stops the thread at each
+    syscall boundary.
+    """
+
+    def __init__(
+        self,
+        kernel: HostKernel,
+        iothread: Thread,
+        disk_fd: int,
+        capacity_sectors: int,
+    ):
+        self._kernel = kernel
+        self._iothread = iothread
+        self._fd = disk_fd
+        self.capacity_sectors = capacity_sectors
+
+    def read(self, sector: int, count: int) -> bytes:
+        return self._kernel.syscall(
+            self._iothread, "pread", self._fd, sector * SECTOR_SIZE, count * SECTOR_SIZE
+        )
+
+    def write(self, sector: int, data: bytes) -> None:
+        self._kernel.syscall(
+            self._iothread, "pwrite", self._fd, sector * SECTOR_SIZE, data
+        )
+
+    def flush(self) -> None:
+        self._kernel.syscall(self._iothread, "fsync", self._fd)
+
+
+class MappedImageBackend(BlockBackend):
+    """VMSH backend: the file-system image mmap-ed into the VMSH process.
+
+    Reads and writes are in-process memcpys against the mapping (plus
+    write-back handled by the host's page cache, which we fold into
+    the copy cost).  This is the §5-optimised path; the ablation
+    benchmark swaps the accessor, not this backend.
+    """
+
+    def __init__(self, costs: CostModel, image_bytes: bytes, writable: bool = True):
+        self._costs = costs
+        self._data = bytearray(image_bytes)
+        self.writable = writable
+        self.capacity_sectors = len(self._data) // SECTOR_SIZE
+
+    def read(self, sector: int, count: int) -> bytes:
+        start = sector * SECTOR_SIZE
+        end = start + count * SECTOR_SIZE
+        if end > len(self._data):
+            raise VirtioError("read beyond image end")
+        self._costs.memcpy(end - start)
+        return bytes(self._data[start:end])
+
+    def write(self, sector: int, data: bytes) -> None:
+        if not self.writable:
+            raise VirtioError("image is read-only")
+        start = sector * SECTOR_SIZE
+        if start + len(data) > len(self._data):
+            raise VirtioError("write beyond image end")
+        self._costs.memcpy(len(data))
+        self._data[start : start + len(data)] = data
+
+    def snapshot(self) -> bytes:
+        """Current image contents (for persisting changes)."""
+        return bytes(self._data)
+
+
+# ---------------------------------------------------------------------------
+# Device (host side)
+# ---------------------------------------------------------------------------
+
+def blk_config_space(capacity_sectors: int) -> bytes:
+    """virtio-blk config: u64 capacity in 512-byte sectors."""
+    return struct.pack("<Q", capacity_sectors)
+
+
+class VirtioBlkDevice(VirtioMmioDevice):
+    """The virtio-blk device-side implementation (request queue 0)."""
+
+    QUEUE_COUNT = 1
+
+    def __init__(
+        self,
+        accessor: GuestMemoryAccessor,
+        irq_signal: Callable[[], None],
+        costs: CostModel,
+        backend: BlockBackend,
+        name: str = "virtio-blk",
+    ):
+        super().__init__(
+            device_id=C.DEVICE_ID_BLOCK,
+            accessor=accessor,
+            irq_signal=irq_signal,
+            costs=costs,
+            config_space=blk_config_space(backend.capacity_sectors),
+            name=name,
+        )
+        self.backend = backend
+        self.requests_served = 0
+
+    def process_queue(self, index: int) -> None:
+        if index != 0:
+            raise VirtioError(f"{self.name}: notify for unknown queue {index}")
+        ring = self._ring(0)
+        heads = ring.pop_available()
+        if not heads:
+            return
+        table = ring.read_table()
+        for head in heads:
+            written = self._service_request(head, table)
+            ring.push_used(head, written)
+            self.requests_served += 1
+        self.raise_interrupt()
+
+    def _service_request(self, head: int, table: bytes) -> int:
+        ring = self._ring(0)
+        chain = ring.read_chain(head, table)
+        if len(chain) < 2:
+            raise VirtioError(f"{self.name}: short descriptor chain")
+        header = self.mem.read(chain[0].addr, BLK_HEADER_SIZE)
+        req_type, _reserved, sector = struct.unpack("<IIQ", header)
+        data_descs = chain[1:-1]
+        status_desc = chain[-1]
+        if not status_desc.device_writable or status_desc.length < 1:
+            raise VirtioError(f"{self.name}: bad status descriptor")
+
+        written = 0
+        try:
+            if req_type == C.VIRTIO_BLK_T_IN:
+                # One backend read for the whole request, then scatter
+                # into the guest's buffers descriptor by descriptor.
+                total = sum(d.length for d in data_descs)
+                payload = self.backend.read(sector, total // SECTOR_SIZE)
+                at = 0
+                for desc in data_descs:
+                    if not desc.device_writable:
+                        raise VirtioError("read request with device-read-only buffer")
+                    self.mem.write(desc.addr, payload[at : at + desc.length])
+                    at += desc.length
+                    written += desc.length
+            elif req_type == C.VIRTIO_BLK_T_OUT:
+                # Gather descriptor by descriptor, one backend write.
+                parts = [self.mem.read(d.addr, d.length) for d in data_descs]
+                self.backend.write(sector, b"".join(parts))
+            elif req_type == C.VIRTIO_BLK_T_FLUSH:
+                self.backend.flush()
+            else:
+                self.mem.write(status_desc.addr, bytes([C.VIRTIO_BLK_S_UNSUPP]))
+                return written + 1
+        except VirtioError:
+            self.mem.write(status_desc.addr, bytes([C.VIRTIO_BLK_S_IOERR]))
+            return written + 1
+        self.mem.write(status_desc.addr, bytes([C.VIRTIO_BLK_S_OK]))
+        return written + 1
+
+
+# ---------------------------------------------------------------------------
+# Guest driver
+# ---------------------------------------------------------------------------
+
+class GuestVirtioBlkDisk(BlockDevice):
+    """Guest block device backed by a virtio queue (qemu-blk or vmsh-blk).
+
+    Requests use one descriptor per 4 KiB page of payload, as real
+    guests do for non-contiguous pages; the device pays its memory
+    accessor's per-descriptor cost, which is what separates qemu-blk
+    from vmsh-blk on large requests.
+    """
+
+    supports_pquota = False  # virtio transports expose no quota metadata
+
+    def __init__(self, guest_kernel, transport: GuestVirtioTransport, name: str):
+        self.kernel = guest_kernel
+        self.transport = transport
+        self.name = name
+        cfg = transport.read_config(0, 8)
+        self._capacity_sectors = struct.unpack("<Q", cfg)[0]
+        transport.initialize()
+        self.ring = transport.setup_queue(0, C.DEFAULT_QUEUE_SIZE)
+        transport.driver_ok()
+        # DMA bounce buffers: a header+status page and a data pool.
+        self._hdr_gpa = guest_kernel.alloc_guest_pages(1)
+        self._data_gpa = guest_kernel.alloc_guest_pages(128)   # 512 KiB pool
+        self._data_pool_bytes = 128 * 4096
+        guest_kernel.register_irq(transport.irq_gsi, self._on_irq)
+        self._pending_completions: List = []
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self._capacity_sectors
+
+    # -- BlockDevice interface ---------------------------------------------------------
+
+    def read_sectors(self, sector: int, count: int) -> bytes:
+        self._check(sector, count)
+        out = bytearray()
+        for chunk_sector, chunk_count in self._chunks(sector, count):
+            out += self._do_read(chunk_sector, chunk_count)
+        return bytes(out)
+
+    def write_sectors(self, sector: int, data: bytes) -> None:
+        if len(data) % SECTOR_SIZE:
+            raise VirtioError("write must be sector aligned")
+        count = len(data) // SECTOR_SIZE
+        self._check(sector, count)
+        offset = 0
+        for chunk_sector, chunk_count in self._chunks(sector, count):
+            nbytes = chunk_count * SECTOR_SIZE
+            self._do_write(chunk_sector, data[offset : offset + nbytes])
+            offset += nbytes
+
+    def flush(self) -> None:
+        header = struct.pack("<IIQ", C.VIRTIO_BLK_T_FLUSH, 0, 0)
+        self.kernel.memory.write(self._hdr_gpa, header)
+        status_gpa = self._hdr_gpa + BLK_HEADER_SIZE
+        self._submit([(self._hdr_gpa, BLK_HEADER_SIZE, False), (status_gpa, 1, True)])
+        self._check_status(status_gpa)
+
+    # -- request machinery ------------------------------------------------------------------
+
+    def _chunks(self, sector: int, count: int):
+        """Split a request to fit the DMA pool (512 KiB per request)."""
+        max_sectors = self._data_pool_bytes // SECTOR_SIZE
+        while count > 0:
+            take = min(count, max_sectors)
+            yield sector, take
+            sector += take
+            count -= take
+
+    def _do_read(self, sector: int, count: int) -> bytes:
+        nbytes = count * SECTOR_SIZE
+        header = struct.pack("<IIQ", C.VIRTIO_BLK_T_IN, 0, sector)
+        self.kernel.memory.write(self._hdr_gpa, header)
+        status_gpa = self._hdr_gpa + BLK_HEADER_SIZE
+        buffers = [(self._hdr_gpa, BLK_HEADER_SIZE, False)]
+        buffers += [
+            (gpa, length, True) for gpa, length in self._data_segments(nbytes)
+        ]
+        buffers.append((status_gpa, 1, True))
+        self._submit(buffers)
+        self._check_status(status_gpa)
+        return self.kernel.memory.read(self._data_gpa, nbytes)
+
+    def _do_write(self, sector: int, data: bytes) -> None:
+        header = struct.pack("<IIQ", C.VIRTIO_BLK_T_OUT, 0, sector)
+        self.kernel.memory.write(self._hdr_gpa, header)
+        self.kernel.memory.write(self._data_gpa, data)
+        status_gpa = self._hdr_gpa + BLK_HEADER_SIZE
+        buffers = [(self._hdr_gpa, BLK_HEADER_SIZE, False)]
+        buffers += [
+            (gpa, length, False) for gpa, length in self._data_segments(len(data))
+        ]
+        buffers.append((status_gpa, 1, True))
+        self._submit(buffers)
+        self._check_status(status_gpa)
+
+    def _data_segments(self, nbytes: int):
+        """One descriptor per 4 KiB page of payload."""
+        segments = []
+        offset = 0
+        while offset < nbytes:
+            length = min(4096, nbytes - offset)
+            segments.append((self._data_gpa + offset, length))
+            offset += length
+        return segments
+
+    def _submit(self, buffers) -> None:
+        if self.kernel.costs is not None:
+            self.kernel.costs.guest_block_submit()
+        head = self.ring.add_chain(buffers)
+        self.transport.notify(0)
+        completions = self.ring.collect_used()
+        if not any(h == head for h, _ in completions):
+            raise VirtioError(f"{self.name}: request {head} did not complete")
+
+    def _check_status(self, status_gpa: int) -> None:
+        status = self.kernel.memory.read(status_gpa, 1)[0]
+        if status == C.VIRTIO_BLK_S_OK:
+            return
+        if status == C.VIRTIO_BLK_S_UNSUPP:
+            raise VirtioError(f"{self.name}: unsupported request")
+        raise VirtioError(f"{self.name}: IO error (status {status})")
+
+    def _on_irq(self, gsi: int) -> None:
+        self.transport.ack_interrupt()

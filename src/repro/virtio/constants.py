@@ -1,0 +1,64 @@
+"""VirtIO constants (MMIO transport + device types), per VirtIO 1.1."""
+
+from __future__ import annotations
+
+# virtio-mmio register offsets (VirtIO 1.1 §4.2.2)
+REG_MAGIC = 0x00            # 'virt' little-endian
+REG_VERSION = 0x04
+REG_DEVICE_ID = 0x08
+REG_VENDOR_ID = 0x0C
+REG_DEVICE_FEATURES = 0x10
+REG_DRIVER_FEATURES = 0x20
+REG_QUEUE_SEL = 0x30
+REG_QUEUE_NUM_MAX = 0x34
+REG_QUEUE_NUM = 0x38
+REG_QUEUE_READY = 0x44
+REG_QUEUE_NOTIFY = 0x50
+REG_INTERRUPT_STATUS = 0x60
+REG_INTERRUPT_ACK = 0x64
+REG_STATUS = 0x70
+REG_QUEUE_DESC_LOW = 0x80
+REG_QUEUE_DESC_HIGH = 0x84
+REG_QUEUE_AVAIL_LOW = 0x90
+REG_QUEUE_AVAIL_HIGH = 0x94
+REG_QUEUE_USED_LOW = 0xA0
+REG_QUEUE_USED_HIGH = 0xA4
+REG_CONFIG = 0x100
+
+MMIO_MAGIC = 0x74726976     # "virt"
+MMIO_VERSION = 2
+VENDOR_ID = 0x554D4551      # "QEMU" (shared by convention)
+
+# Device IDs (VirtIO 1.1 §5)
+DEVICE_ID_NET = 1
+DEVICE_ID_BLOCK = 2
+DEVICE_ID_CONSOLE = 3
+DEVICE_ID_9P = 9
+
+# Device status bits
+STATUS_ACKNOWLEDGE = 1
+STATUS_DRIVER = 2
+STATUS_DRIVER_OK = 4
+STATUS_FEATURES_OK = 8
+STATUS_FAILED = 128
+
+# Descriptor flags
+VRING_DESC_F_NEXT = 1
+VRING_DESC_F_WRITE = 2      # device-writable buffer
+
+# virtio-blk request types
+VIRTIO_BLK_T_IN = 0         # read
+VIRTIO_BLK_T_OUT = 1        # write
+VIRTIO_BLK_T_FLUSH = 4
+
+# virtio-blk status byte
+VIRTIO_BLK_S_OK = 0
+VIRTIO_BLK_S_IOERR = 1
+VIRTIO_BLK_S_UNSUPP = 2
+
+# Default queue depth
+DEFAULT_QUEUE_SIZE = 256
+
+# Interrupt status bits
+INT_USED_RING = 0x1
+INT_CONFIG_CHANGE = 0x2

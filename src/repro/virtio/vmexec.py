@@ -1,0 +1,215 @@
+"""The vm-exec device — the abstraction the paper envisions (§2.2).
+
+"We envision a vm-exec device that allows one to start binaries, while
+not depending on vendor-specific guest agents.  In this way, VMSH
+provides out-of-band management similar to IPMI/Redfish on physical
+hardware."
+
+Unlike the console (a byte stream a human types into), vm-exec is a
+structured request/response channel: the host submits an argv, the
+guest runs it in the overlay and returns exit code plus captured
+output.  Queue 0 carries requests (guest-posted receive buffers the
+device fills), queue 1 carries responses.
+
+Wire format (little-endian)::
+
+    request:   u16 argc, then argc x { u16 len, bytes }
+    response:  i32 exit_code, u32 output_len, output bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import VirtioError
+from repro.sim.costs import CostModel
+from repro.virtio.memio import GuestMemoryAccessor
+from repro.virtio.mmio import GuestVirtioTransport, VirtioMmioDevice
+
+#: device id in the experimental range (not a standardised VirtIO id)
+DEVICE_ID_VMEXEC = 42
+
+REQUEST_QUEUE = 0
+RESPONSE_QUEUE = 1
+
+REQUEST_BUFFER_SIZE = 4096
+RESPONSE_BUFFER_LIMIT = 64 * 1024
+
+
+def pack_request(argv: List[str]) -> bytes:
+    out = bytearray(struct.pack("<H", len(argv)))
+    for arg in argv:
+        encoded = arg.encode()
+        out += struct.pack("<H", len(encoded)) + encoded
+    if len(out) > REQUEST_BUFFER_SIZE:
+        raise VirtioError("vm-exec request too large")
+    return bytes(out)
+
+
+def unpack_request(data: bytes) -> List[str]:
+    try:
+        (argc,) = struct.unpack_from("<H", data, 0)
+        pos = 2
+        argv = []
+        for _ in range(argc):
+            (length,) = struct.unpack_from("<H", data, pos)
+            pos += 2
+            argv.append(data[pos : pos + length].decode())
+            pos += length
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise VirtioError(f"malformed vm-exec request: {exc}") from exc
+    return argv
+
+
+def pack_response(exit_code: int, output: bytes) -> bytes:
+    output = output[:RESPONSE_BUFFER_LIMIT]
+    return struct.pack("<iI", exit_code, len(output)) + output
+
+
+def unpack_response(data: bytes) -> "ExecResult":
+    exit_code, length = struct.unpack_from("<iI", data, 0)
+    return ExecResult(exit_code=exit_code, output=data[8 : 8 + length].decode(errors="replace"))
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one vm-exec invocation."""
+
+    exit_code: int
+    output: str
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+
+class VmExecDevice(VirtioMmioDevice):
+    """Host side: submit argv, collect the response."""
+
+    QUEUE_COUNT = 2
+
+    def __init__(
+        self,
+        accessor: GuestMemoryAccessor,
+        irq_signal: Callable[[], None],
+        costs: CostModel,
+        name: str = "vmsh-exec",
+    ):
+        super().__init__(
+            device_id=DEVICE_ID_VMEXEC,
+            accessor=accessor,
+            irq_signal=irq_signal,
+            costs=costs,
+            name=name,
+        )
+        self._posted_requests: List[int] = []
+        self._responses: List[ExecResult] = []
+
+    # -- queue handling --------------------------------------------------------
+
+    def process_queue(self, index: int) -> None:
+        if index == REQUEST_QUEUE:
+            ring = self._ring(REQUEST_QUEUE)
+            self._posted_requests.extend(ring.pop_available())
+        elif index == RESPONSE_QUEUE:
+            ring = self._ring(RESPONSE_QUEUE)
+            table = ring.read_table()
+            for head in ring.pop_available():
+                chain = ring.read_chain(head, table)
+                payload = b"".join(
+                    self.mem.read(d.addr, d.length) for d in chain
+                )
+                self._responses.append(unpack_response(payload))
+                ring.push_used(head, 0)
+            self.raise_interrupt()
+        else:
+            raise VirtioError(f"{self.name}: notify for unknown queue {index}")
+
+    # -- host API ------------------------------------------------------------------
+
+    def submit(self, argv: List[str]) -> ExecResult:
+        """Run ``argv`` in the guest overlay; synchronous."""
+        ring = self._ring(REQUEST_QUEUE)
+        # The driver re-posts buffers without a doorbell (it knows the
+        # device polls the avail ring on demand).
+        self._posted_requests.extend(ring.pop_available())
+        if not self._posted_requests:
+            raise VirtioError(
+                f"{self.name}: guest has no posted request buffers"
+            )
+        head = self._posted_requests.pop(0)
+        chain = ring.read_chain(head)
+        request = pack_request(argv)
+        if not chain or not chain[0].device_writable:
+            raise VirtioError("vm-exec request buffer must be device-writable")
+        if chain[0].length < len(request):
+            raise VirtioError("vm-exec request buffer too small")
+        self.mem.write(chain[0].addr, request)
+        ring.push_used(head, len(request))
+        self.raise_interrupt()           # guest executes synchronously
+        if not self._responses:
+            raise VirtioError(f"{self.name}: guest produced no response")
+        return self._responses.pop(0)
+
+
+class GuestVmExecDriver:
+    """Guest side: receive argv, execute in the overlay, respond."""
+
+    def __init__(self, guest_kernel, transport: GuestVirtioTransport,
+                 name: str = "vmexec0"):
+        self.kernel = guest_kernel
+        self.transport = transport
+        self.name = name
+        transport.initialize()
+        self.request_ring = transport.setup_queue(REQUEST_QUEUE, 16)
+        self.response_ring = transport.setup_queue(RESPONSE_QUEUE, 16)
+        transport.driver_ok()
+        self._request_gpa = guest_kernel.alloc_guest_pages(4)
+        self._response_gpa = guest_kernel.alloc_guest_pages(16)
+        self._request_chains: dict = {}
+        self._executor: Optional[Callable[[List[str]], ExecResult]] = None
+        guest_kernel.register_irq(transport.irq_gsi, self._on_irq)
+        self._post_request_buffers()
+
+    def set_executor(self, executor: Callable[[List[str]], ExecResult]) -> None:
+        """Install the userspace side that actually runs commands."""
+        self._executor = executor
+
+    def _post_request_buffers(self) -> None:
+        for i in range(4):
+            gpa = self._request_gpa + i * REQUEST_BUFFER_SIZE
+            head = self.request_ring.add_chain(
+                [(gpa, REQUEST_BUFFER_SIZE, True)]
+            )
+            self._request_chains[head] = gpa
+        self.transport.notify(REQUEST_QUEUE)
+
+    def _on_irq(self, gsi: int) -> None:
+        self.transport.ack_interrupt()
+        for head, written in self.request_ring.collect_used():
+            gpa = self._request_chains.pop(head)
+            argv = unpack_request(self.kernel.memory.read(gpa, written))
+            result = self._execute(argv)
+            self._respond(result)
+            # Re-post the buffer for the next request.
+            new_head = self.request_ring.add_chain(
+                [(gpa, REQUEST_BUFFER_SIZE, True)]
+            )
+            self._request_chains[new_head] = gpa
+
+    def _execute(self, argv: List[str]) -> ExecResult:
+        if self._executor is None:
+            return ExecResult(exit_code=127, output="vm-exec: no executor attached\n")
+        try:
+            return self._executor(argv)
+        except Exception as exc:  # noqa: BLE001 - guest-side failure -> error result
+            return ExecResult(exit_code=126, output=f"vm-exec: {exc}\n")
+
+    def _respond(self, result: ExecResult) -> None:
+        payload = pack_response(result.exit_code, result.output.encode())
+        self.kernel.memory.write(self._response_gpa, payload)
+        self.response_ring.add_chain([(self._response_gpa, len(payload), False)])
+        self.transport.notify(RESPONSE_QUEUE)
+        self.response_ring.collect_used()

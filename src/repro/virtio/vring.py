@@ -1,0 +1,204 @@
+"""Split virtqueues, serialised into guest physical memory.
+
+Ring layout follows VirtIO 1.1 §2.6 (16-byte descriptors, avail and
+used rings with running indices).  The guest driver writes the rings
+through its own RAM; the device — wherever it runs — reads the very
+same bytes through its :class:`~repro.virtio.memio.GuestMemoryAccessor`.
+Nothing is exchanged except through guest memory and notifications,
+exactly as in Fig. 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import VirtioError
+from repro.virtio.constants import VRING_DESC_F_NEXT, VRING_DESC_F_WRITE
+
+DESC_SIZE = 16
+AVAIL_HEADER = 4            # u16 flags + u16 idx
+USED_HEADER = 4
+USED_ELEM_SIZE = 8          # u32 id + u32 len
+
+
+def desc_table_size(queue_size: int) -> int:
+    return queue_size * DESC_SIZE
+
+
+def avail_ring_size(queue_size: int) -> int:
+    return AVAIL_HEADER + 2 * queue_size
+
+
+def used_ring_size(queue_size: int) -> int:
+    return USED_HEADER + USED_ELEM_SIZE * queue_size
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """One descriptor as read back from guest memory."""
+
+    index: int
+    addr: int
+    length: int
+    device_writable: bool
+    next_index: Optional[int]
+
+
+class DriverRing:
+    """Guest-driver side of one virtqueue."""
+
+    def __init__(self, memory, desc_gpa: int, avail_gpa: int, used_gpa: int, size: int):
+        if size <= 0 or size & (size - 1):
+            raise VirtioError(f"queue size {size} is not a power of two")
+        self._mem = memory
+        self.desc_gpa = desc_gpa
+        self.avail_gpa = avail_gpa
+        self.used_gpa = used_gpa
+        self.size = size
+        self._free: List[int] = list(range(size))
+        self._avail_idx = 0
+        self._last_used = 0
+        self._chain_heads: dict = {}
+        self._mem.write_u16(avail_gpa, 0)           # flags
+        self._mem.write_u16(avail_gpa + 2, 0)       # idx
+        self._mem.write_u16(used_gpa, 0)
+        self._mem.write_u16(used_gpa + 2, 0)
+
+    @property
+    def free_descriptors(self) -> int:
+        return len(self._free)
+
+    def add_chain(self, buffers: Sequence[Tuple[int, int, bool]]) -> int:
+        """Publish a descriptor chain; returns the head descriptor id.
+
+        ``buffers`` is a sequence of (gpa, length, device_writable).
+        """
+        if not buffers:
+            raise VirtioError("empty descriptor chain")
+        if len(buffers) > len(self._free):
+            raise VirtioError(
+                f"queue full: need {len(buffers)} descriptors, "
+                f"have {len(self._free)}"
+            )
+        indices = [self._free.pop() for _ in buffers]
+        for pos, (gpa, length, writable) in enumerate(buffers):
+            index = indices[pos]
+            flags = 0
+            next_index = 0
+            if pos + 1 < len(buffers):
+                flags |= VRING_DESC_F_NEXT
+                next_index = indices[pos + 1]
+            if writable:
+                flags |= VRING_DESC_F_WRITE
+            base = self.desc_gpa + index * DESC_SIZE
+            self._mem.write_u64(base, gpa)
+            self._mem.write_u32(base + 8, length)
+            self._mem.write_u16(base + 12, flags)
+            self._mem.write_u16(base + 14, next_index)
+        head = indices[0]
+        self._chain_heads[head] = indices
+        slot = self._avail_idx % self.size
+        self._mem.write_u16(self.avail_gpa + AVAIL_HEADER + slot * 2, head)
+        self._avail_idx = (self._avail_idx + 1) & 0xFFFF
+        self._mem.write_u16(self.avail_gpa + 2, self._avail_idx)
+        return head
+
+    def collect_used(self) -> List[Tuple[int, int]]:
+        """Harvest completions: (head id, bytes written by device)."""
+        used_idx = self._mem.read_u16(self.used_gpa + 2)
+        completed: List[Tuple[int, int]] = []
+        while self._last_used != used_idx:
+            slot = self._last_used % self.size
+            base = self.used_gpa + USED_HEADER + slot * USED_ELEM_SIZE
+            head = self._mem.read_u32(base)
+            written = self._mem.read_u32(base + 4)
+            chain = self._chain_heads.pop(head, None)
+            if chain is None:
+                raise VirtioError(f"device completed unknown chain head {head}")
+            self._free.extend(chain)
+            completed.append((head, written))
+            self._last_used = (self._last_used + 1) & 0xFFFF
+        return completed
+
+
+class DeviceRing:
+    """Device side of one virtqueue, accessed through an accessor."""
+
+    def __init__(self, accessor, desc_gpa: int, avail_gpa: int, used_gpa: int, size: int):
+        self._mem = accessor
+        self.desc_gpa = desc_gpa
+        self.avail_gpa = avail_gpa
+        self.used_gpa = used_gpa
+        self.size = size
+        self._last_avail = 0
+        self._used_idx = 0
+
+    def pop_available(self) -> List[int]:
+        """New chain heads published by the driver since the last poll.
+
+        One access for the index, one batched access for the ring slice
+        — devices read rings in bulk, they do not chase one u16 at a
+        time across the process boundary.
+        """
+        avail_idx = self._mem.read_u16(self.avail_gpa + 2)
+        pending = (avail_idx - self._last_avail) & 0xFFFF
+        if pending == 0:
+            return []
+        if pending > self.size:
+            raise VirtioError("avail ring advanced past queue size (corrupt idx?)")
+        ring_bytes = self._mem.read(self.avail_gpa + AVAIL_HEADER, 2 * self.size)
+        heads: List[int] = []
+        for _ in range(pending):
+            slot = self._last_avail % self.size
+            heads.append(int.from_bytes(ring_bytes[slot * 2 : slot * 2 + 2], "little"))
+            self._last_avail = (self._last_avail + 1) & 0xFFFF
+        return heads
+
+    def read_table(self) -> bytes:
+        """Snapshot the whole descriptor table in one access."""
+        return self._mem.read(self.desc_gpa, self.size * DESC_SIZE)
+
+    def read_chain(self, head: int, table: Optional[bytes] = None) -> List[Descriptor]:
+        """Walk one descriptor chain out of guest memory.
+
+        Pass a ``read_table()`` snapshot to amortise the table fetch
+        across the chains of one notification batch.
+        """
+        if table is None:
+            table = self.read_table()
+        chain: List[Descriptor] = []
+        index = head
+        seen = set()
+        while True:
+            if index in seen:
+                raise VirtioError(f"descriptor loop at index {index}")
+            if not 0 <= index < self.size:
+                raise VirtioError(f"descriptor index {index} out of range")
+            seen.add(index)
+            base = index * DESC_SIZE
+            addr = int.from_bytes(table[base : base + 8], "little")
+            length = int.from_bytes(table[base + 8 : base + 12], "little")
+            flags = int.from_bytes(table[base + 12 : base + 14], "little")
+            next_index = int.from_bytes(table[base + 14 : base + 16], "little")
+            has_next = bool(flags & VRING_DESC_F_NEXT)
+            chain.append(
+                Descriptor(
+                    index=index,
+                    addr=addr,
+                    length=length,
+                    device_writable=bool(flags & VRING_DESC_F_WRITE),
+                    next_index=next_index if has_next else None,
+                )
+            )
+            if not has_next:
+                return chain
+            index = next_index
+
+    def push_used(self, head: int, written: int) -> None:
+        slot = self._used_idx % self.size
+        base = self.used_gpa + USED_HEADER + slot * USED_ELEM_SIZE
+        self._mem.write_u32(base, head)
+        self._mem.write_u32(base + 4, written)
+        self._used_idx = (self._used_idx + 1) & 0xFFFF
+        self._mem.write_u16(self.used_gpa + 2, self._used_idx)

@@ -1,0 +1,110 @@
+"""Table 1: hypervisor support matrix and kernel-version sweep (E2/E3)."""
+
+import pytest
+
+from repro.errors import HypervisorNotSupportedError, SeccompViolationError
+from repro.guestos.version import ALL_TESTED_VERSIONS
+from repro.hypervisors import (
+    CloudHypervisor,
+    Crosvm,
+    Firecracker,
+    Kvmtool,
+    Qemu,
+)
+from repro.testbed import Testbed
+
+
+SUPPORTED = [Qemu, Kvmtool, Crosvm]
+
+
+@pytest.mark.parametrize("cls", SUPPORTED, ids=lambda c: c.NAME)
+def test_supported_hypervisors_attach(cls):
+    tb = Testbed()
+    hv = tb.launch(cls)
+    session = tb.vmsh().attach(hv.pid)
+    assert session.console.run_command("echo attached").output == "attached"
+
+
+def test_firecracker_seccomp_blocks_attach():
+    """Firecracker's per-thread filters reject injected syscalls (§6.2)."""
+    tb = Testbed()
+    hv = tb.launch_firecracker(seccomp=True)
+    with pytest.raises(SeccompViolationError):
+        tb.vmsh().attach(hv.pid)
+
+
+def test_firecracker_without_seccomp_attaches():
+    tb = Testbed()
+    hv = tb.launch_firecracker(seccomp=False)
+    session = tb.vmsh().attach(hv.pid)
+    assert session.console.run_command("echo fc").output == "fc"
+
+
+def test_cloud_hypervisor_unsupported():
+    """Cloud Hypervisor: MSI-X-only interrupts, no MMIO attach (Table 1)."""
+    tb = Testbed()
+    hv = tb.launch_cloud_hypervisor()
+    with pytest.raises(HypervisorNotSupportedError, match="interrupt"):
+        tb.vmsh().attach(hv.pid)
+    # The failed attach must leave the guest running and unpanicked.
+    assert hv.guest.panicked is None
+    assert hv.process.tracer is None
+
+
+@pytest.mark.parametrize("version", ALL_TESTED_VERSIONS, ids=str)
+def test_all_lts_kernels_attach(version):
+    """E3: attach works on every LTS from v4.4 to v5.10 (+v5.12)."""
+    tb = Testbed()
+    hv = tb.launch_qemu(guest_version=version)
+    session = tb.vmsh().attach(hv.pid)
+    assert session.report.kernel_version == version
+    assert session.report.ksymtab_layout == version.ksymtab_layout
+    assert session.console.run_command("echo ok").output == "ok"
+    assert hv.guest.panicked is None
+
+
+def test_wrap_syscall_mode_on_unpatched_kernel():
+    """Without the ioregionfd patch, attach falls back to ptrace."""
+    tb = Testbed(ioregionfd=False)
+    hv = tb.launch_qemu()
+    session = tb.vmsh().attach(hv.pid)
+    assert session.mmio_mode == "wrap_syscall"
+    assert session.console.run_command("echo wrapped").output == "wrapped"
+    # ptrace stays attached in this mode (needed for dispatch).
+    assert session._ptrace is not None and session._ptrace.attached
+
+
+def test_explicit_mode_request_honoured():
+    tb = Testbed(ioregionfd=True)
+    hv = tb.launch_qemu()
+    session = tb.vmsh().attach(hv.pid, mmio_mode="wrap_syscall")
+    assert session.mmio_mode == "wrap_syscall"
+
+
+def test_ioregionfd_requested_but_unavailable():
+    from repro.errors import VmshError
+
+    tb = Testbed(ioregionfd=False)
+    hv = tb.launch_qemu()
+    with pytest.raises(VmshError, match="ioregionfd"):
+        tb.vmsh().attach(hv.pid, mmio_mode="ioregionfd")
+
+
+def test_attach_to_non_hypervisor_process():
+    from repro.errors import SideloadError
+
+    tb = Testbed()
+    bystander = tb.host.spawn_process("nginx")
+    with pytest.raises(SideloadError, match="no KVM VM"):
+        tb.vmsh().attach(bystander.pid)
+
+
+def test_two_vms_same_host_attach_independently():
+    tb = Testbed()
+    hv1 = tb.launch_qemu()
+    hv2 = tb.launch_qemu()
+    s1 = tb.vmsh().attach(hv1.pid)
+    s2 = tb.vmsh().attach(hv2.pid)
+    assert s1.console.run_command("echo one").output == "one"
+    assert s2.console.run_command("echo two").output == "two"
+    assert hv1.guest.image.vbase != hv2.guest.image.vbase  # distinct KASLR

@@ -1,0 +1,84 @@
+"""Property tests: the ksymtab parser against adversarial images.
+
+The parser must recover the true table from an image that also
+contains decoy string regions and junk — and it must never crash on
+arbitrary bytes.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kaslr import KernelLocation
+from repro.core.ksymtab import parse_ksymtab
+from repro.errors import SideloadError
+from repro.guestos.symbols import ENTRY_SIZES, build_symbol_sections
+from repro.mem.layout import KERNEL_TEXT_BASE
+from repro.mem.physmem import PhysicalMemory
+from repro.units import MiB
+
+IMAGE_SIZE = 2 * MiB
+identifier = st.text(alphabet=string.ascii_lowercase + "_", min_size=2, max_size=20)
+
+
+class FakeGateway:
+    """A gateway whose virtual reads come from a flat buffer."""
+
+    def __init__(self, image: bytes, vbase: int = KERNEL_TEXT_BASE):
+        self.image = image
+        self.vbase = vbase
+
+    def read_virt(self, vaddr: int, length: int) -> bytes:
+        offset = vaddr - self.vbase
+        return self.image[offset : offset + length]
+
+
+@given(
+    layout=st.sampled_from(sorted(ENTRY_SIZES)),
+    symbols=st.dictionaries(identifier, st.integers(0x2000, 0xF0000),
+                            min_size=9, max_size=30),
+    decoys=st.lists(identifier, min_size=3, max_size=10),
+    junk=st.binary(min_size=0, max_size=512),
+)
+@settings(max_examples=25, deadline=None)
+def test_parser_finds_true_table_despite_decoys(layout, symbols, decoys, junk):
+    mem = PhysicalMemory(IMAGE_SIZE)
+    # The real sections.
+    build_symbol_sections(
+        {name: KERNEL_TEXT_BASE + off for name, off in symbols.items()},
+        layout,
+        strings_vaddr=KERNEL_TEXT_BASE + 0x118000,
+        ksymtab_vaddr=KERNEL_TEXT_BASE + 0x110000,
+        write=lambda vaddr, data: mem.write(vaddr - KERNEL_TEXT_BASE, data),
+    )
+    # A decoy string region with no table referencing it.
+    decoy_blob = b"\x00".join(d.encode() for d in decoys) + b"\x00"
+    mem.write(0x40000, decoy_blob)
+    # And arbitrary junk elsewhere.
+    mem.write(0x80000, junk)
+
+    gateway = FakeGateway(mem.read(0, IMAGE_SIZE))
+    location = KernelLocation(KERNEL_TEXT_BASE, KERNEL_TEXT_BASE + IMAGE_SIZE)
+    parsed = parse_ksymtab(gateway, location)
+    assert parsed.layout == layout
+    for name, off in symbols.items():
+        assert parsed.symbols[name] == KERNEL_TEXT_BASE + off
+
+
+@given(noise=st.binary(min_size=64, max_size=4096))
+@settings(max_examples=30, deadline=None)
+def test_parser_never_crashes_on_noise(noise):
+    """Arbitrary bytes: either a clean SideloadError or a parse that
+    satisfied every consistency check — never an exception."""
+    mem = PhysicalMemory(IMAGE_SIZE)
+    mem.write(0x1000, noise * (65536 // max(1, len(noise))))
+    gateway = FakeGateway(mem.read(0, IMAGE_SIZE))
+    location = KernelLocation(KERNEL_TEXT_BASE, KERNEL_TEXT_BASE + IMAGE_SIZE)
+    try:
+        parsed = parse_ksymtab(gateway, location)
+    except SideloadError:
+        return
+    # If something parsed, it passed the consistency checks: at least
+    # MIN_RUN_LENGTH entries whose names are genuine identifiers.
+    assert len(parsed.symbols) >= 8
+    assert all(name.isidentifier() for name in parsed.symbols)

@@ -1,0 +1,88 @@
+"""Property tests: physical memory and page tables."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.layout import KERNEL_TEXT_BASE, canonical
+from repro.mem.pagetable import PageTableBuilder, PageTableWalker
+from repro.mem.physmem import PhysicalMemory
+from repro.units import MiB, PAGE_SIZE
+
+MEM_SIZE = 4 * MiB
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=MEM_SIZE - 64),
+            st.binary(min_size=1, max_size=64),
+        ),
+        max_size=24,
+    )
+)
+def test_physmem_matches_reference_bytearray(writes):
+    """Sparse memory must behave exactly like a dense bytearray."""
+    mem = PhysicalMemory(MEM_SIZE)
+    reference = bytearray(MEM_SIZE)
+    for addr, data in writes:
+        mem.write(addr, data)
+        reference[addr : addr + len(data)] = data
+    for addr, data in writes:
+        start = max(0, addr - 8)
+        length = min(len(data) + 16, MEM_SIZE - start)
+        assert mem.read(start, length) == bytes(reference[start : start + length])
+
+
+@given(
+    addr=st.integers(min_value=0, max_value=MEM_SIZE - 8),
+    value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+)
+def test_physmem_u64_roundtrip(addr, value):
+    mem = PhysicalMemory(MEM_SIZE)
+    mem.write_u64(addr, value)
+    assert mem.read_u64(addr) == value
+
+
+@st.composite
+def page_mappings(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    vpages = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=4096),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    ppages = draw(
+        st.lists(
+            st.integers(min_value=512, max_value=1023),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    return list(zip(vpages, ppages))
+
+
+@given(mappings=page_mappings())
+@settings(max_examples=40)
+def test_pagetable_translations_match_mappings(mappings):
+    """Every mapped page translates exactly; everything else faults."""
+    mem = PhysicalMemory(64 * MiB)
+    alloc = itertools.count(16 * MiB, PAGE_SIZE)
+    builder = PageTableBuilder(mem.read_u64, mem.write_u64, lambda: next(alloc))
+    walker = PageTableWalker(mem.read_u64)
+    cr3 = builder.new_root()
+    for vpage, ppage in mappings:
+        builder.map_page(cr3, KERNEL_TEXT_BASE + vpage * PAGE_SIZE, ppage * PAGE_SIZE)
+    mapped = {v for v, _ in mappings}
+    for vpage, ppage in mappings:
+        vaddr = KERNEL_TEXT_BASE + vpage * PAGE_SIZE
+        tr = walker.translate(cr3, vaddr + 7)
+        assert tr.paddr == ppage * PAGE_SIZE + 7
+    for probe in range(0, 4097, 97):
+        vaddr = KERNEL_TEXT_BASE + probe * PAGE_SIZE
+        assert walker.is_mapped(cr3, vaddr) == (probe in mapped)
+
+
+@given(vaddr=st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_canonicalisation_idempotent(vaddr):
+    assert canonical(canonical(vaddr)) == canonical(vaddr)

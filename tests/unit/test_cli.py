@@ -1,0 +1,72 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "attached to qemu-system-x86_64" in out
+    assert "ksymtab prel32_ns" in out
+
+
+def test_attach_default(capsys):
+    assert main(["attach", "-c", "echo cli-test"]) == 0
+    out = capsys.readouterr().out
+    assert "cli-test" in out
+
+
+def test_attach_old_kernel(capsys):
+    assert main(["attach", "--kernel", "v4.4", "-c", "echo old"]) == 0
+    out = capsys.readouterr().out
+    assert "ksymtab absolute" in out
+    assert "old" in out
+
+
+def test_attach_firecracker_seccomp_fails(capsys):
+    assert main(["attach", "--hypervisor", "firecracker"]) == 1
+    err = capsys.readouterr().err
+    assert "seccomp" in err.lower()
+
+
+def test_attach_firecracker_no_seccomp(capsys):
+    assert main(["attach", "--hypervisor", "firecracker", "--no-seccomp",
+                 "-c", "echo fc"]) == 0
+    assert "fc" in capsys.readouterr().out
+
+
+def test_attach_firecracker_seccomp_aware(capsys):
+    assert main(["attach", "--hypervisor", "firecracker", "--seccomp-aware",
+                 "-c", "echo heuristic"]) == 0
+    assert "heuristic" in capsys.readouterr().out
+
+
+def test_attach_cloud_hypervisor_mmio_fails(capsys):
+    assert main(["attach", "--hypervisor", "cloud-hypervisor"]) == 1
+
+
+def test_attach_cloud_hypervisor_pci(capsys):
+    assert main(["attach", "--hypervisor", "cloud-hypervisor",
+                 "--transport", "pci", "-c", "echo pci"]) == 0
+    out = capsys.readouterr().out
+    assert "transport pci" in out
+
+
+def test_xfstests_quick(capsys):
+    assert main(["xfstests", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "native" in out and "vmsh-blk" in out
+    assert "quota-report" in out
+
+
+def test_console_latency(capsys):
+    assert main(["console-latency"]) == 0
+    out = capsys.readouterr().out
+    assert "vmsh-console" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

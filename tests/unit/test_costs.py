@@ -1,0 +1,80 @@
+"""Cost model: charging, counters, copy-path scaling."""
+
+from repro.sim.clock import Clock
+from repro.sim.costs import CostModel, CostParams
+
+
+def _model():
+    return CostModel(Clock())
+
+
+def test_syscall_advances_clock():
+    model = _model()
+    model.syscall()
+    assert model.clock.now == model.p.syscall_ns
+    assert model.count("syscall") == 1
+
+
+def test_counters_accumulate():
+    model = _model()
+    for _ in range(5):
+        model.vmexit()
+    assert model.count("vmexit") == 5
+    model.reset_counters()
+    assert model.count("vmexit") == 0
+
+
+def test_memcpy_scales_with_size():
+    model = _model()
+    model.memcpy(0)
+    base = model.clock.now
+    model.memcpy(8_000_000)  # 8 MB at 8 GB/s -> 1 ms
+    assert model.clock.now - base == model.p.memcpy_call_ns + 1_000_000
+
+
+def test_procvm_has_higher_fixed_cost_than_memcpy():
+    params = CostParams()
+    assert params.procvm_call_ns > params.memcpy_call_ns * 10
+
+
+def test_bytewise_copy_slower_than_procvm():
+    """The §5 ablation depends on this ordering."""
+    a = _model()
+    b = _model()
+    a.procvm_copy(1_000_000)
+    b.bytewise_copy(1_000_000)
+    assert b.clock.now > a.clock.now * 2
+
+
+def test_disk_io_includes_service_time_and_bandwidth():
+    model = _model()
+    model.disk_io(3_200_000)  # exactly 1 ms of bandwidth
+    assert model.clock.now == model.p.disk_service_ns + 1_000_000
+
+
+def test_ptrace_stop_dwarfs_syscall():
+    """wrap_syscall hurts because stops are ~25x a syscall."""
+    params = CostParams()
+    assert params.ptrace_stop_ns > 10 * params.syscall_ns
+
+
+def test_p9_data_op_is_multiple_rpcs():
+    model = _model()
+    model.p9_data_op()
+    assert model.clock.now == model.p.p9_rpc_ns * model.p.p9_rpcs_per_data_op
+
+
+def test_pagecache_hit_is_cheap():
+    model = _model()
+    model.pagecache_hit(1)
+    hit = model.clock.now
+    model2 = _model()
+    model2.disk_io(4096)
+    assert model2.clock.now > 10 * hit
+
+
+def test_custom_params_respected():
+    params = CostParams(syscall_ns=7)
+    model = CostModel(Clock(), params)
+    model.syscall()
+    assert model.clock.now == 7

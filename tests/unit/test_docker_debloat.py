@@ -1,0 +1,121 @@
+"""Docker dataset, open tracer, debloat pipeline (E7 units)."""
+
+import pytest
+
+from repro.image.debloat import app_profile_paths, debloat_image, summarize
+from repro.image.docker import ESSENTIAL_GROUPS, REMOVABLE_GROUPS, top40_images
+from repro.image.tracer import OpenTracer
+from repro.testbed import Testbed
+from repro.units import MiB
+
+
+def test_dataset_has_40_images():
+    images = top40_images()
+    assert len(images) == 40
+    assert len({img.name for img in images}) == 40
+
+
+def test_exactly_three_static_go_images():
+    images = top40_images()
+    go = [img for img in images if img.static_go]
+    assert sorted(img.name for img in go) == ["consul", "registry", "traefik"]
+
+
+def test_inventories_are_deterministic():
+    a = {img.name: [(f.path, f.size) for f in img.files] for img in top40_images()}
+    b = {img.name: [(f.path, f.size) for f in img.files] for img in top40_images()}
+    assert a == b
+
+
+def test_file_groups_partition():
+    for img in top40_images():
+        for f in img.files:
+            assert f.group in ESSENTIAL_GROUPS + REMOVABLE_GROUPS
+
+
+def test_essential_plus_removable_close_to_total():
+    for img in top40_images():
+        accounted = img.essential_size + img.removable_size
+        assert 0.75 * img.total_size <= accounted <= 1.1 * img.total_size, img.name
+
+
+def test_open_tracer_records_paths():
+    tb = Testbed()
+    hv = tb.launch_qemu(root_files={"/app/binary": b"x", "/app/lib.so": b"y"})
+    guest = hv.guest
+    with OpenTracer(guest) as tracer:
+        handle = guest.kernel_vfs.open("/app/binary")
+        guest.kernel_vfs.close(handle)
+    assert "/app/binary" in tracer.result.opened
+    assert "/app/lib.so" not in tracer.result.opened
+    keep = tracer.result.keep_set()
+    assert "/app" in keep and "/" in keep
+
+
+def test_open_tracer_records_misses():
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    from repro.errors import VfsError
+
+    with OpenTracer(hv.guest) as tracer:
+        with pytest.raises(VfsError):
+            hv.guest.kernel_vfs.open("/definitely/missing")
+    assert "/definitely/missing" in tracer.result.missing
+
+
+def test_open_tracer_restores_vfs_open():
+    from repro.guestos.vfs import Vfs
+
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    with OpenTracer(hv.guest):
+        assert "open" in hv.guest.kernel_vfs.__dict__   # instance override
+    assert "open" not in hv.guest.kernel_vfs.__dict__   # class method again
+    assert hv.guest.kernel_vfs.open.__func__ is Vfs.open
+
+
+def test_tracer_follows_symlink_chains():
+    tb = Testbed()
+    hv = tb.launch_qemu(root_files={"/usr/lib/libreal.so": b"so"})
+    vfs = hv.guest.kernel_vfs
+    vfs.symlink("/usr/lib/libreal.so", "/usr/lib/lib.so.1")
+    with OpenTracer(hv.guest) as tracer:
+        vfs.close(vfs.open("/usr/lib/lib.so.1"))
+    assert "/usr/lib/libreal.so" in tracer.result.opened
+    assert "/usr/lib/lib.so.1" in tracer.result.opened
+
+
+def test_debloat_single_dynamic_image():
+    tb = Testbed()
+    image = next(img for img in top40_images() if img.name == "nginx")
+    result = debloat_image(image, testbed=tb)
+    assert result.app_still_works
+    assert 0.50 <= result.reduction <= 0.97
+    assert result.files_after < result.files_before
+
+
+def test_debloat_static_go_image_barely_shrinks():
+    tb = Testbed()
+    image = next(img for img in top40_images() if img.name == "traefik")
+    result = debloat_image(image, testbed=tb)
+    assert result.app_still_works
+    assert result.reduction < 0.10
+
+
+def test_debloat_keeps_all_profile_paths():
+    tb = Testbed()
+    image = next(img for img in top40_images() if img.name == "redis")
+    profile = set(app_profile_paths(image))
+    result = debloat_image(image, testbed=tb)
+    assert result.app_still_works  # implies all profile paths survived
+
+
+def test_summarize_fields():
+    results = [
+        type("R", (), {"reduction": r, "app_still_works": True})()
+        for r in (0.05, 0.5, 0.9)
+    ]
+    s = summarize(results)  # type: ignore[arg-type]
+    assert s["count"] == 3
+    assert s["below_10pct"] == 1
+    assert abs(s["mean_reduction"] - (0.05 + 0.5 + 0.9) / 3) < 1e-9

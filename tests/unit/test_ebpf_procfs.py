@@ -1,0 +1,94 @@
+"""eBPF memslot snooper and the /proc view."""
+
+import pytest
+
+from repro.errors import NoSuchProcessError
+from repro.host.ebpf import MemslotSnooper
+from repro.host.kernel import HostKernel
+from repro.host.procfs import ProcFs
+from repro.kvm.api import KvmSystem
+from repro.units import MiB
+
+
+@pytest.fixture()
+def vm_setup():
+    host = HostKernel()
+    hv = host.spawn_process("qemu")
+    kvm_fd = hv.fds.install(KvmSystem(host))
+    vm_fd = host.syscall(hv.main_thread, "ioctl", kvm_fd, "KVM_CREATE_VM")
+    hva = host.syscall(hv.main_thread, "mmap", 64 * MiB, "guest-ram")
+    host.syscall(
+        hv.main_thread, "ioctl", vm_fd, "KVM_SET_USER_MEMORY_REGION",
+        {"slot": 0, "gpa": 0, "size": 64 * MiB, "hva": hva},
+    )
+    return host, hv, vm_fd, hva
+
+
+def test_snooper_captures_on_vm_ioctl(vm_setup):
+    host, hv, vm_fd, hva = vm_setup
+    vmsh = host.spawn_process("vmsh")
+    snooper = MemslotSnooper(host, vmsh)
+    snooper.attach()
+    assert snooper.read_map() == []        # nothing until an ioctl fires
+    host.syscall(hv.main_thread, "ioctl", vm_fd, "KVM_CHECK_EXTENSION", "KVM_CAP_IRQFD")
+    records = snooper.read_map()
+    assert len(records) == 1
+    assert records[0].gpa == 0
+    assert records[0].size == 64 * MiB
+    assert records[0].hva == hva
+    snooper.detach()
+
+
+def test_snooper_map_drains(vm_setup):
+    host, hv, vm_fd, _ = vm_setup
+    vmsh = host.spawn_process("vmsh")
+    snooper = MemslotSnooper(host, vmsh)
+    snooper.attach()
+    host.syscall(hv.main_thread, "ioctl", vm_fd, "KVM_CHECK_EXTENSION", "X")
+    assert snooper.read_map() != []
+    assert snooper.read_map() == []
+    snooper.detach()
+
+
+def test_detached_snooper_sees_nothing(vm_setup):
+    host, hv, vm_fd, _ = vm_setup
+    vmsh = host.spawn_process("vmsh")
+    snooper = MemslotSnooper(host, vmsh)
+    snooper.attach()
+    snooper.detach()
+    host.syscall(hv.main_thread, "ioctl", vm_fd, "KVM_CHECK_EXTENSION", "X")
+    assert snooper.read_map() == []
+
+
+def test_procfs_lists_processes(vm_setup):
+    host, hv, _, _ = vm_setup
+    procfs = ProcFs(host)
+    assert hv.pid in procfs.pids()
+    assert procfs.comm(hv.pid) == "qemu"
+
+
+def test_procfs_fd_links_show_kvm(vm_setup):
+    host, hv, vm_fd, _ = vm_setup
+    procfs = ProcFs(host)
+    links = procfs.fd_links(hv.pid)
+    assert links[vm_fd] == "anon_inode:kvm-vm"
+    vcpu_fd = host.syscall(hv.main_thread, "ioctl", vm_fd, "KVM_CREATE_VCPU")
+    assert procfs.fd_links(hv.pid)[vcpu_fd] == "anon_inode:kvm-vcpu:0"
+
+
+def test_procfs_tasks(vm_setup):
+    host, hv, _, _ = vm_setup
+    hv.spawn_thread("CPU 0/KVM")
+    procfs = ProcFs(host)
+    tids = procfs.tasks(hv.pid)
+    assert len(tids) == 2
+    assert procfs.task_comm(hv.pid, tids[1]) == "CPU 0/KVM"
+
+
+def test_procfs_dead_process(vm_setup):
+    host, hv, _, _ = vm_setup
+    procfs = ProcFs(host)
+    host.exit_process(hv.pid)
+    assert hv.pid not in procfs.pids()
+    with pytest.raises(NoSuchProcessError):
+        procfs.fd_links(hv.pid)

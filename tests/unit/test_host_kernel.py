@@ -1,0 +1,139 @@
+"""Host kernel syscalls: dispatch, seccomp, process_vm, fd passing."""
+
+import pytest
+
+from repro.errors import (
+    HostError,
+    NoSuchProcessError,
+    PermissionDeniedError,
+    SeccompViolationError,
+)
+from repro.host.files import HostFile
+from repro.host.kernel import HostKernel
+from repro.host.seccomp import SeccompFilter
+from repro.units import MiB
+
+
+@pytest.fixture()
+def host():
+    return HostKernel()
+
+
+def test_unknown_syscall_raises(host):
+    p = host.spawn_process("p")
+    with pytest.raises(HostError, match="unimplemented"):
+        host.syscall(p.main_thread, "does_not_exist")
+
+
+def test_mmap_munmap_syscalls(host):
+    p = host.spawn_process("p")
+    addr = host.syscall(p.main_thread, "mmap", 1 * MiB)
+    assert addr > 0
+    assert host.syscall(p.main_thread, "munmap", addr) == 0
+
+
+def test_syscall_charges_time(host):
+    p = host.spawn_process("p")
+    host.syscall(p.main_thread, "mmap", 4096)
+    assert host.clock.now >= host.costs.p.syscall_ns
+
+
+def test_seccomp_blocks_filtered_syscall(host):
+    p = host.spawn_process("p")
+    p.main_thread.seccomp_filter = SeccompFilter.allowlist("strict", {"read"})
+    with pytest.raises(SeccompViolationError):
+        host.syscall(p.main_thread, "mmap", 4096)
+
+
+def test_seccomp_allows_whitelisted(host):
+    p = host.spawn_process("p")
+    p.main_thread.seccomp_filter = SeccompFilter.allowlist("ok", {"mmap"})
+    assert host.syscall(p.main_thread, "mmap", 4096) > 0
+
+
+def test_process_vm_readv_writev(host):
+    reader = host.spawn_process("reader")
+    target = host.spawn_process("target")
+    addr = host.syscall(target.main_thread, "mmap", 4096)
+    host.syscall(reader.main_thread, "process_vm_writev", target.pid, addr, b"xyz")
+    data = host.syscall(reader.main_thread, "process_vm_readv", target.pid, addr, 3)
+    assert data == b"xyz"
+    assert host.costs.count("procvm_copy") == 2
+
+
+def test_process_vm_requires_privilege(host):
+    reader = host.spawn_process("reader", uid=1000)
+    reader.capabilities.clear()
+    target = host.spawn_process("target", uid=0)
+    addr = host.syscall(target.main_thread, "mmap", 4096)
+    with pytest.raises(PermissionDeniedError):
+        host.syscall(reader.main_thread, "process_vm_readv", target.pid, addr, 1)
+
+
+def test_process_vm_on_dead_process(host):
+    reader = host.spawn_process("reader")
+    target = host.spawn_process("target")
+    host.exit_process(target.pid)
+    with pytest.raises(NoSuchProcessError):
+        host.syscall(reader.main_thread, "process_vm_readv", target.pid, 0, 1)
+
+
+def test_eventfd_write_signals(host):
+    p = host.spawn_process("p")
+    fd = host.syscall(p.main_thread, "eventfd2")
+    host.syscall(p.main_thread, "write", fd)
+    assert host.syscall(p.main_thread, "read", fd) == 1
+
+
+def test_sendmsg_recvmsg_fd_passing(host):
+    """SCM_RIGHTS: the mechanism VMSH uses to extract fds (§5)."""
+    hv = host.spawn_process("hypervisor")
+    vmsh = host.spawn_process("vmsh")
+    sock_a, sock_b = host.syscall(hv.main_thread, "socketpair")
+    efd_in_hv = host.syscall(hv.main_thread, "eventfd2")
+    # VMSH adopts the peer end (connected unix socket).
+    vmsh_fd = vmsh.fds.install(hv.fds.get(sock_b))
+    host.syscall(hv.main_thread, "sendmsg", sock_a, "take-this", [efd_in_hv])
+    payload, fds = host.syscall(vmsh.main_thread, "recvmsg", vmsh_fd)
+    assert payload == "take-this"
+    assert len(fds) == 1
+    # Both fd tables reference the SAME eventfd object.
+    assert vmsh.fds.get(fds[0]) is hv.fds.get(efd_in_hv)
+
+
+def test_pread_pwrite_on_host_file(host):
+    p = host.spawn_process("p")
+    hf = HostFile("/tmp/disk.img", size=1 * MiB, costs=host.costs)
+    fd = p.fds.install(hf)
+    host.syscall(p.main_thread, "pwrite", fd, 100, b"disk-data")
+    assert host.syscall(p.main_thread, "pread", fd, 100, 9) == b"disk-data"
+
+
+def test_fsync_on_host_file(host):
+    p = host.spawn_process("p")
+    hf = HostFile("/tmp/disk.img", size=1 * MiB, costs=host.costs)
+    fd = p.fds.install(hf)
+    assert host.syscall(p.main_thread, "fsync", fd) == 0
+
+
+def test_direct_host_file_charges_disk(host):
+    p = host.spawn_process("p")
+    hf = HostFile("/dev/nvme0n1p9", size=1 * MiB, costs=host.costs, direct=True)
+    fd = p.fds.install(hf)
+    host.syscall(p.main_thread, "pread", fd, 0, 4096)
+    assert host.costs.count("disk_io") == 1
+
+
+def test_ebpf_attach_requires_cap(host):
+    p = host.spawn_process("p")
+    p.drop_capability("CAP_BPF")
+    with pytest.raises(PermissionDeniedError):
+        host.ebpf_attach("kvm_vm_ioctl", lambda **kw: None, p)
+
+
+def test_ebpf_fire_reaches_programs(host):
+    p = host.spawn_process("p")
+    seen = []
+    host.ebpf_attach("kvm_vm_ioctl", lambda **kw: seen.append(kw), p)
+    host.ebpf_fire("kvm_vm_ioctl", vm="fake", request="X")
+    assert seen == [{"vm": "fake", "request": "X"}]

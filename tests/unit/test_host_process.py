@@ -1,0 +1,111 @@
+"""Host processes: fd tables, address spaces, eventfds, sockets."""
+
+import pytest
+
+from repro.errors import BadFileDescriptorError, HostError, MemoryError_
+from repro.host.kernel import HostKernel
+from repro.host.process import EventFd, FileObject, Process, SocketPair
+from repro.units import MiB
+
+
+@pytest.fixture()
+def host():
+    return HostKernel()
+
+
+def test_pids_and_tids_are_unique(host):
+    a = host.spawn_process("a")
+    b = host.spawn_process("b")
+    assert a.pid != b.pid
+    tids = [t.tid for t in a.threads] + [t.tid for t in b.threads]
+    a.spawn_thread("worker")
+    tids.append(a.threads[-1].tid)
+    assert len(set(tids)) == len(tids)
+
+
+def test_fd_table_install_get_close(host):
+    process = host.spawn_process("p")
+    obj = EventFd()
+    fd = process.fds.install(obj)
+    assert process.fds.get(fd) is obj
+    process.fds.close(fd)
+    with pytest.raises(BadFileDescriptorError):
+        process.fds.get(fd)
+
+
+def test_fds_start_above_std_streams(host):
+    process = host.spawn_process("p")
+    assert process.fds.install(FileObject()) >= 3
+
+
+def test_address_space_mmap_read_write(host):
+    process = host.spawn_process("p")
+    addr = process.address_space.mmap(1 * MiB, name="test").start
+    process.address_space.write(addr + 100, b"data")
+    assert process.address_space.read(addr + 100, 4) == b"data"
+
+
+def test_address_space_guard_gaps(host):
+    process = host.spawn_process("p")
+    m1 = process.address_space.mmap(4096)
+    m2 = process.address_space.mmap(4096)
+    assert m2.start > m1.end  # gap between mappings
+    with pytest.raises(MemoryError_):
+        process.address_space.read(m1.end, 1)
+
+
+def test_munmap(host):
+    process = host.spawn_process("p")
+    m = process.address_space.mmap(4096)
+    process.address_space.munmap(m.start)
+    with pytest.raises(MemoryError_):
+        process.address_space.read(m.start, 1)
+
+
+def test_cross_mapping_access_rejected(host):
+    process = host.spawn_process("p")
+    m = process.address_space.mmap(4096)
+    with pytest.raises(MemoryError_):
+        process.address_space.read(m.start + 4090, 10)
+
+
+def test_eventfd_signal_and_drain():
+    efd = EventFd()
+    fired = []
+    efd.on_signal(lambda: fired.append(1))
+    efd.signal()
+    efd.signal()
+    assert efd.drain() == 2
+    assert efd.drain() == 0
+    assert len(fired) == 2
+
+
+def test_socketpair_delivery():
+    a, b = SocketPair.pair()
+    a.send({"hello": 1})
+    assert b.recv() == {"hello": 1}
+    with pytest.raises(HostError):
+        b.recv()
+
+
+def test_socket_on_message_callback():
+    a, b = SocketPair.pair()
+    got = []
+    b.on_message(got.append)
+    a.send("ping")
+    assert got == ["ping"]
+
+
+def test_capability_management(host):
+    process = host.spawn_process("p")
+    assert process.has_capability("CAP_BPF")
+    process.drop_capability("CAP_BPF")
+    assert not process.has_capability("CAP_BPF")
+
+
+def test_thread_lookup_by_name(host):
+    process = host.spawn_process("vmm")
+    process.spawn_thread("vcpu0")
+    assert process.thread_by_name("vcpu0").name == "vcpu0"
+    with pytest.raises(HostError):
+        process.thread_by_name("nope")

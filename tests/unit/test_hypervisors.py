@@ -1,0 +1,116 @@
+"""The five simulated hypervisors."""
+
+import pytest
+
+from repro.errors import KvmError
+from repro.hypervisors import (
+    ALL_HYPERVISOR_CLASSES,
+    CloudHypervisor,
+    Crosvm,
+    Firecracker,
+    Kvmtool,
+    Qemu,
+)
+from repro.testbed import Testbed
+from repro.units import MiB
+
+
+def test_all_five_launch_and_boot():
+    for cls in ALL_HYPERVISOR_CLASSES:
+        tb = Testbed()
+        hv = tb.launch(cls)
+        assert hv.guest is not None and hv.guest.booted
+        assert hv.guest.panicked is None
+
+
+def test_vcpu_thread_naming_conventions():
+    tb = Testbed()
+    expectations = {
+        Qemu: "CPU 0/KVM",
+        Kvmtool: "kvm-vcpu-0",
+        Firecracker: "fc_vcpu 0",
+        Crosvm: "crosvm_vcpu0",
+    }
+    for cls, expected in expectations.items():
+        hv = tb.launch(cls)
+        names = [t.name for t in hv.process.threads]
+        assert expected in names, (cls.NAME, names)
+
+
+def test_double_launch_rejected():
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    with pytest.raises(KvmError):
+        hv.launch()
+
+
+def test_disk_must_be_added_before_launch():
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    with pytest.raises(KvmError):
+        hv.add_disk(tb.nvme_partition(16 * MiB))
+
+
+def test_qemu_9p_share_requires_launch():
+    tb = Testbed()
+    hv = Qemu(tb.host, tb.kvm)
+    with pytest.raises(RuntimeError):
+        hv.create_9p_share()
+
+
+def test_non_qemu_has_no_9p():
+    tb = Testbed()
+    hv = tb.launch_kvmtool()
+    with pytest.raises(KvmError):
+        hv.create_9p_share()
+
+
+def test_api_capability_flags():
+    assert Qemu.HAS_DEBUGGER_API and Qemu.HAS_HOTPLUG_API
+    assert Crosvm.HAS_DEBUGGER_API and not Crosvm.HAS_HOTPLUG_API
+    assert not Firecracker.HAS_DEBUGGER_API and not Firecracker.HAS_HOTPLUG_API
+    assert not Kvmtool.HAS_DEBUGGER_API
+    assert CloudHypervisor.VIRTIO_TRANSPORT == "pci"
+
+
+def test_guest_sees_hypervisor_disk_at_boot():
+    tb = Testbed()
+    hv = tb.launch_qemu(disk=tb.nvme_partition(16 * MiB))
+    assert "vda" in hv.guest.block_devices
+    assert any("virtio-blk vda" in line for line in hv.guest.klog)
+
+
+def test_two_disks_two_devices():
+    tb = Testbed()
+    hv = Qemu(tb.host, tb.kvm)
+    hv.add_disk(tb.nvme_partition(16 * MiB), "a")
+    hv.add_disk(tb.nvme_partition(16 * MiB), "b")
+    hv.launch()
+    assert set(hv.guest.block_devices) >= {"vda", "vdb"}
+
+
+def test_unclaimed_mmio_is_left_unhandled():
+    """A VMM must not claim exits outside its windows — that is what
+    lets VMSH interpose without conflicts."""
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    vcpu = hv.vm.vcpus[0]
+    with pytest.raises(KvmError, match="did not handle"):
+        hv.vm.mmio_access(vcpu, True, 0xCAFE0000, 4, 1)
+
+
+def test_firecracker_filters_are_per_thread():
+    tb = Testbed()
+    hv = tb.launch_firecracker(seccomp=True)
+    filters = {t.name: t.seccomp_filter for t in hv.process.threads}
+    assert filters["fc_vcpu 0"] is not None
+    assert filters["firecracker"] is not None
+    assert filters["fc_vcpu 0"].name != filters["firecracker"].name
+
+
+def test_guest_ram_is_one_anonymous_mapping():
+    tb = Testbed()
+    hv = tb.launch_qemu(ram_bytes=128 * MiB)
+    ram = [m for m in hv.process.address_space.mappings() if m.name == "guest-ram"]
+    assert len(ram) == 1
+    assert ram[0].size == 128 * MiB

@@ -1,0 +1,113 @@
+"""x86-64 page tables: mapping, translation, scanning."""
+
+import itertools
+
+import pytest
+
+from repro.errors import PageFaultError
+from repro.mem.layout import canonical, kaslr_slot_to_vaddr
+from repro.mem.pagetable import (
+    PTE_NX,
+    PTE_PRESENT,
+    PTE_WRITABLE,
+    PageTableBuilder,
+    PageTableWalker,
+)
+from repro.mem.physmem import PhysicalMemory
+from repro.units import MiB, PAGE_SIZE
+
+
+@pytest.fixture()
+def env():
+    mem = PhysicalMemory(16 * MiB)
+    alloc = itertools.count(1 * MiB, PAGE_SIZE)
+    builder = PageTableBuilder(mem.read_u64, mem.write_u64, lambda: next(alloc))
+    walker = PageTableWalker(mem.read_u64)
+    cr3 = builder.new_root()
+    return mem, builder, walker, cr3
+
+
+def test_map_and_translate(env):
+    mem, builder, walker, cr3 = env
+    builder.map_page(cr3, 0xFFFFFFFF80000000, 0x200000)
+    tr = walker.translate(cr3, 0xFFFFFFFF80000123)
+    assert tr.paddr == 0x200123
+    assert tr.level == 1
+    assert tr.flags & PTE_PRESENT
+
+
+def test_unmapped_address_faults(env):
+    _, _, walker, cr3 = env
+    with pytest.raises(PageFaultError):
+        walker.translate(cr3, 0xFFFFFFFF80000000)
+
+
+def test_map_range_contiguous(env):
+    _, builder, walker, cr3 = env
+    base = kaslr_slot_to_vaddr(3)
+    builder.map_range(cr3, base, 0x400000, 10 * PAGE_SIZE)
+    for i in range(10):
+        assert walker.translate(cr3, base + i * PAGE_SIZE).paddr == 0x400000 + i * PAGE_SIZE
+    assert not walker.is_mapped(cr3, base + 10 * PAGE_SIZE)
+
+
+def test_nx_and_readonly_flags(env):
+    _, builder, walker, cr3 = env
+    builder.map_page(cr3, 0xFFFFFFFF80000000, 0x200000, writable=False, nx=True)
+    tr = walker.translate(cr3, 0xFFFFFFFF80000000)
+    assert not tr.flags & PTE_WRITABLE
+    assert tr.flags & PTE_NX
+
+
+def test_unmap_page(env):
+    _, builder, walker, cr3 = env
+    vaddr = kaslr_slot_to_vaddr(1)
+    builder.map_page(cr3, vaddr, 0x300000)
+    assert walker.is_mapped(cr3, vaddr)
+    builder.unmap_page(cr3, vaddr)
+    assert not walker.is_mapped(cr3, vaddr)
+
+
+def test_unmap_absent_raises(env):
+    _, builder, _, cr3 = env
+    with pytest.raises(PageFaultError):
+        builder.unmap_page(cr3, kaslr_slot_to_vaddr(2))
+
+
+def test_misaligned_mapping_rejected(env):
+    _, builder, _, cr3 = env
+    with pytest.raises(ValueError):
+        builder.map_page(cr3, 0xFFFFFFFF80000001, 0x200000)
+    with pytest.raises(ValueError):
+        builder.map_page(cr3, 0xFFFFFFFF80000000, 0x200001)
+
+
+def test_iter_present_range_finds_islands(env):
+    _, builder, walker, cr3 = env
+    base_a = kaslr_slot_to_vaddr(5)
+    base_b = kaslr_slot_to_vaddr(200)
+    builder.map_range(cr3, base_a, 0x500000, 2 * PAGE_SIZE)
+    builder.map_range(cr3, base_b, 0x600000, PAGE_SIZE)
+    found = [
+        vaddr
+        for vaddr, _ in walker.iter_present_range(
+            cr3, 0xFFFFFFFF80000000, 0xFFFFFFFF80000000 + (1 << 30)
+        )
+    ]
+    assert found == [base_a, base_a + PAGE_SIZE, base_b]
+
+
+def test_translation_shares_intermediate_tables(env):
+    """Two pages in the same 2M region must share a PT page."""
+    _, builder, _, cr3 = env
+    before = len(builder.tables_allocated)
+    builder.map_page(cr3, 0xFFFFFFFF80000000, 0x200000)
+    mid = len(builder.tables_allocated)
+    builder.map_page(cr3, 0xFFFFFFFF80001000, 0x201000)
+    assert len(builder.tables_allocated) == mid  # no new tables
+    assert mid - before == 3  # PDPT + PD + PT
+
+
+def test_canonical_roundtrip():
+    assert canonical(0xFFFF_8000_0000_0000 & ((1 << 48) - 1)) == 0xFFFF_8000_0000_0000
+    assert canonical(0x0000_7FFF_FFFF_FFFF) == 0x7FFF_FFFF_FFFF

@@ -1,0 +1,75 @@
+"""Sparse physical memory."""
+
+import pytest
+
+from repro.errors import MemoryError_
+from repro.mem.physmem import PhysicalMemory
+from repro.units import MiB, PAGE_SIZE
+
+
+def test_unwritten_memory_reads_zero():
+    mem = PhysicalMemory(1 * MiB)
+    assert mem.read(0, 16) == b"\x00" * 16
+    assert mem.read(MiB - 8, 8) == b"\x00" * 8
+
+
+def test_write_read_roundtrip():
+    mem = PhysicalMemory(1 * MiB)
+    mem.write(1234, b"hello world")
+    assert mem.read(1234, 11) == b"hello world"
+
+
+def test_cross_page_write():
+    mem = PhysicalMemory(1 * MiB)
+    data = bytes(range(256)) * 40  # 10240 bytes across 3+ pages
+    mem.write(PAGE_SIZE - 100, data)
+    assert mem.read(PAGE_SIZE - 100, len(data)) == data
+
+
+def test_out_of_bounds_rejected():
+    mem = PhysicalMemory(PAGE_SIZE)
+    with pytest.raises(MemoryError_):
+        mem.read(PAGE_SIZE - 1, 2)
+    with pytest.raises(MemoryError_):
+        mem.write(PAGE_SIZE, b"x")
+    with pytest.raises(MemoryError_):
+        mem.read(-1, 1)
+
+
+def test_size_must_be_page_multiple():
+    with pytest.raises(ValueError):
+        PhysicalMemory(100)
+    with pytest.raises(ValueError):
+        PhysicalMemory(0)
+
+
+def test_word_accessors_little_endian():
+    mem = PhysicalMemory(PAGE_SIZE)
+    mem.write_u64(0, 0x1122334455667788)
+    assert mem.read(0, 8) == bytes.fromhex("8877665544332211")
+    assert mem.read_u64(0) == 0x1122334455667788
+    mem.write_u32(8, 0xDEADBEEF)
+    assert mem.read_u32(8) == 0xDEADBEEF
+    mem.write_u16(12, 0xCAFE)
+    assert mem.read_u16(12) == 0xCAFE
+    mem.write_i32(16, -12345)
+    assert mem.read_i32(16) == -12345
+
+
+def test_resident_pages_tracks_materialisation():
+    mem = PhysicalMemory(1 * MiB)
+    assert mem.resident_pages == 0
+    mem.read(0, 4096)            # reads do not materialise
+    assert mem.resident_pages == 0
+    mem.write(0, b"x")
+    mem.write(5 * PAGE_SIZE, b"y")
+    assert mem.resident_pages == 2
+
+
+def test_touched_ranges_coalesces():
+    mem = PhysicalMemory(1 * MiB)
+    mem.write(0, b"a")
+    mem.write(PAGE_SIZE, b"b")
+    mem.write(10 * PAGE_SIZE, b"c")
+    ranges = list(mem.touched_ranges())
+    assert ranges == [(0, 2 * PAGE_SIZE), (10 * PAGE_SIZE, 11 * PAGE_SIZE)]

@@ -1,0 +1,126 @@
+"""ptrace: attach semantics, injection, tracing, detach."""
+
+import pytest
+
+from repro.errors import PermissionDeniedError, PtraceError, SeccompViolationError
+from repro.host.kernel import HostKernel
+from repro.host.ptrace import attach
+from repro.host.seccomp import SeccompFilter
+
+
+@pytest.fixture()
+def setup():
+    host = HostKernel()
+    tracer = host.spawn_process("vmsh")
+    tracee = host.spawn_process("qemu")
+    return host, tracer, tracee
+
+
+def test_attach_marks_tracee(setup):
+    host, tracer, tracee = setup
+    session = attach(host, tracer, tracee)
+    assert tracee.tracer is tracer
+    session.detach()
+    assert tracee.tracer is None
+
+
+def test_double_attach_rejected(setup):
+    host, tracer, tracee = setup
+    attach(host, tracer, tracee)
+    other = host.spawn_process("gdb")
+    with pytest.raises(PtraceError, match="already traced"):
+        attach(host, other, tracee)
+
+
+def test_attach_requires_privilege(setup):
+    host, _, tracee = setup
+    weak = host.spawn_process("weak", uid=1000)
+    weak.capabilities.clear()
+    with pytest.raises(PermissionDeniedError):
+        attach(host, weak, tracee)
+
+
+def test_interrupt_and_resume(setup):
+    host, tracer, tracee = setup
+    session = attach(host, tracer, tracee)
+    thread = tracee.main_thread
+    session.interrupt(thread)
+    assert thread.stopped
+    with pytest.raises(PtraceError):
+        session.interrupt(thread)  # already stopped
+    session.resume(thread)
+    assert not thread.stopped
+    with pytest.raises(PtraceError):
+        session.resume(thread)  # not stopped
+
+
+def test_register_access_requires_stop(setup):
+    host, tracer, tracee = setup
+    session = attach(host, tracer, tracee)
+    thread = tracee.main_thread
+    with pytest.raises(PtraceError):
+        session.get_regs(thread)
+    session.interrupt(thread)
+    session.set_regs(thread, {"rip": 0x1000})
+    assert session.get_regs(thread)["rip"] == 0x1000
+
+
+def test_inject_syscall_runs_in_tracee_context(setup):
+    """The injected mmap lands in the *tracee's* address space."""
+    host, tracer, tracee = setup
+    session = attach(host, tracer, tracee)
+    addr = session.inject_syscall(tracee.main_thread, "mmap", 4096, "injected")
+    assert any(m.start == addr for m in tracee.address_space.mappings())
+    assert not any(m.start == addr for m in tracer.address_space.mappings())
+
+
+def test_inject_restores_registers(setup):
+    host, tracer, tracee = setup
+    session = attach(host, tracer, tracee)
+    thread = tracee.main_thread
+    session.interrupt(thread)
+    session.set_regs(thread, {"rip": 0xAAAA})
+    session.inject_syscall(thread, "mmap", 4096)
+    assert session.get_regs(thread) == {"rip": 0xAAAA}
+
+
+def test_injection_subject_to_tracee_seccomp(setup):
+    """Firecracker's filters reject injected syscalls (§6.2)."""
+    host, tracer, tracee = setup
+    tracee.main_thread.seccomp_filter = SeccompFilter.allowlist("fc", {"ioctl"})
+    session = attach(host, tracer, tracee)
+    with pytest.raises(SeccompViolationError):
+        session.inject_syscall(tracee.main_thread, "eventfd2")
+
+
+def test_syscall_tracing_hook_fires_and_charges(setup):
+    host, tracer, tracee = setup
+    session = attach(host, tracer, tracee)
+    events = []
+    session.trace_syscalls(
+        tracee.main_thread, lambda t, name, phase: events.append((name, phase))
+    )
+    stops_before = host.costs.count("ptrace_stop")
+    host.syscall(tracee.main_thread, "mmap", 4096)
+    assert ("mmap", "entry") in events and ("mmap", "exit") in events
+    assert host.costs.count("ptrace_stop") == stops_before + 2
+
+
+def test_detach_removes_hooks_and_resumes(setup):
+    host, tracer, tracee = setup
+    session = attach(host, tracer, tracee)
+    session.trace_syscalls(tracee.main_thread, lambda *a: None)
+    session.interrupt(tracee.main_thread)
+    session.detach()
+    assert not tracee.main_thread.stopped
+    assert not host.thread_is_traced(tracee.main_thread)
+    with pytest.raises(PtraceError):
+        session.interrupt(tracee.main_thread)
+
+
+def test_cannot_touch_foreign_threads(setup):
+    host, tracer, tracee = setup
+    session = attach(host, tracer, tracee)
+    stranger = host.spawn_process("stranger")
+    with pytest.raises(PtraceError):
+        session.interrupt(stranger.main_thread)

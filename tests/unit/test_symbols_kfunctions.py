@@ -1,0 +1,145 @@
+"""Symbol section builder and kernel-function structure codecs."""
+
+import pytest
+
+from repro.errors import GuestPanicError
+from repro.guestos.kfunctions import (
+    BlockConfig,
+    ConsoleConfig,
+    PlatformDeviceInfo,
+    PosRef,
+    REQUIRED_KERNEL_FUNCTIONS,
+    UmhArgs,
+    expected_symbol_names,
+    pack_kernel_read_args,
+    pack_kernel_write_args,
+)
+from repro.guestos.symbols import ENTRY_SIZES, build_symbol_sections
+from repro.guestos.version import KernelVersion
+from repro.mem.physmem import PhysicalMemory
+from repro.units import MiB
+
+
+def test_twelve_required_functions():
+    assert len(REQUIRED_KERNEL_FUNCTIONS) == 12
+    by_category = {}
+    for name, cat in REQUIRED_KERNEL_FUNCTIONS.items():
+        by_category.setdefault(cat, []).append(name)
+    # "two for driver registration, four related to file IO, five
+    # related to process/threads" (§5) + printk.
+    assert len(by_category["driver"]) == 2
+    assert len(by_category["file-io"]) == 4
+    assert len(by_category["process"]) == 5
+    assert len(by_category["logging"]) == 1
+
+
+def test_expected_symbols_include_banner():
+    names = expected_symbol_names()
+    assert "linux_banner" in names
+    assert "kernel_read" in names
+
+
+@pytest.mark.parametrize("layout", sorted(ENTRY_SIZES))
+def test_symbol_sections_roundtrip_bytes(layout):
+    mem = PhysicalMemory(4 * MiB)
+    vbase = 0
+    symbols = {"printk": 0x1000, "kernel_read": 0x2000, "filp_open": 0x3000}
+    sections = build_symbol_sections(
+        symbols, layout, strings_vaddr=0x100000, ksymtab_vaddr=0x80000,
+        write=mem.write,
+    )
+    assert sections.entry_count == 3
+    strings = mem.read(0x100000, sections.strings_size)
+    assert b"printk\x00" in strings
+    assert sections.ksymtab_size == 3 * ENTRY_SIZES[layout]
+    # First entry references the first (sorted) name: filp_open.
+    if layout == "absolute":
+        value = mem.read_u64(0x80000)
+        name_ptr = mem.read_u64(0x80008)
+    else:
+        value = 0x80000 + mem.read_i32(0x80000)
+        name_ptr = 0x80004 + mem.read_i32(0x80004)
+    assert value == 0x3000
+    name = mem.read(name_ptr, 16).split(b"\x00")[0]
+    assert name == b"filp_open"
+
+
+def test_prel32_overflow_detected():
+    mem = PhysicalMemory(4 * MiB)
+    with pytest.raises(ValueError, match="PREL32"):
+        build_symbol_sections(
+            {"far": 1 << 40}, "prel32", strings_vaddr=0x1000,
+            ksymtab_vaddr=0x2000, write=mem.write,
+        )
+
+
+# -- structure codecs ------------------------------------------------------------
+
+OLD = KernelVersion(4, 4)
+NEW = KernelVersion(5, 10)
+
+
+def test_pdev_info_layouts_differ():
+    info = PlatformDeviceInfo(mmio_base=0xE0000000, irq=64)
+    assert len(info.pack(OLD)) != len(info.pack(NEW))
+
+
+@pytest.mark.parametrize("version", [OLD, NEW])
+def test_pdev_info_roundtrip(version):
+    info = PlatformDeviceInfo(mmio_base=0xE0001000, irq=65)
+    again = PlatformDeviceInfo.unpack(info.pack(version), version)
+    assert again.mmio_base == 0xE0001000
+    assert again.irq == 65
+
+
+def test_pdev_info_cross_version_panics():
+    """Packing for the wrong kernel version must not silently work."""
+    info = PlatformDeviceInfo(mmio_base=0xE0000000, irq=64)
+    with pytest.raises(GuestPanicError):
+        PlatformDeviceInfo.unpack(info.pack(OLD), NEW)
+    with pytest.raises(GuestPanicError):
+        PlatformDeviceInfo.unpack(info.pack(NEW), OLD)
+
+
+@pytest.mark.parametrize("version", [OLD, NEW])
+def test_console_config_roundtrip(version):
+    cfg = ConsoleConfig(cols=132, rows=43)
+    again = ConsoleConfig.unpack(cfg.pack(version), version)
+    assert (again.cols, again.rows) == (132, 43)
+
+
+def test_console_config_cross_version_panics():
+    cfg = ConsoleConfig()
+    with pytest.raises(GuestPanicError):
+        ConsoleConfig.unpack(cfg.pack(OLD), NEW)
+
+
+def test_block_config_stable_across_versions():
+    cfg = BlockConfig(capacity_sectors=2048, read_only=True)
+    packed_old = cfg.pack(OLD)
+    packed_new = cfg.pack(NEW)
+    assert packed_old == packed_new
+    assert BlockConfig.unpack(packed_old, NEW).read_only is True
+
+
+def test_umh_args_roundtrip():
+    args = UmhArgs("/dev/.vmsh-stage2", ("--command", "/bin/sh"))
+    again = UmhArgs.unpack(args.pack(NEW), OLD)
+    assert again == args
+
+
+def test_umh_args_malformed_panics():
+    with pytest.raises(GuestPanicError):
+        UmhArgs.unpack(b"\xff", NEW)
+
+
+def test_kernel_rw_arg_marshalling():
+    old_args = pack_kernel_read_args(OLD, 3, 100, 50)
+    assert old_args == (3, 50, 100)
+    new_args = pack_kernel_read_args(NEW, 3, 100, 50)
+    assert new_args[0:2] == (3, 100)
+    assert isinstance(new_args[2], PosRef) and new_args[2].value == 50
+    old_w = pack_kernel_write_args(OLD, 3, b"xy", 7)
+    assert old_w == (3, 7, b"xy")
+    new_w = pack_kernel_write_args(NEW, 3, b"xy", 7)
+    assert isinstance(new_w[2], PosRef)

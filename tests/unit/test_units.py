@@ -1,0 +1,58 @@
+"""Unit helpers: sizes, alignment, formatting."""
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    PAGE_SIZE,
+    fmt_size,
+    fmt_time,
+    page_align_down,
+    page_align_up,
+    pages,
+    sectors,
+)
+
+
+def test_size_constants_are_powers():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+
+
+def test_pages_rounds_up():
+    assert pages(0) == 0
+    assert pages(1) == 1
+    assert pages(PAGE_SIZE) == 1
+    assert pages(PAGE_SIZE + 1) == 2
+    assert pages(10 * PAGE_SIZE) == 10
+
+
+def test_page_alignment():
+    assert page_align_down(0) == 0
+    assert page_align_down(PAGE_SIZE - 1) == 0
+    assert page_align_down(PAGE_SIZE + 5) == PAGE_SIZE
+    assert page_align_up(0) == 0
+    assert page_align_up(1) == PAGE_SIZE
+    assert page_align_up(PAGE_SIZE) == PAGE_SIZE
+
+
+def test_sectors():
+    assert sectors(1) == 1
+    assert sectors(512) == 1
+    assert sectors(513) == 2
+
+
+def test_fmt_size():
+    assert fmt_size(10) == "10 B"
+    assert fmt_size(3 * MiB) == "3.0 MiB"
+    assert fmt_size(GiB) == "1.0 GiB"
+
+
+def test_fmt_time():
+    assert fmt_time(500) == "500 ns"
+    assert fmt_time(1500) == "1.50 us"
+    assert fmt_time(2_500_000) == "2.50 ms"
+    assert fmt_time(3_000_000_000) == "3.000 s"

@@ -1,0 +1,146 @@
+"""Use-case units: rescue, scanner, serverless (E8-E10 components)."""
+
+import pytest
+
+from repro.errors import VmshError
+from repro.testbed import Testbed
+from repro.units import SEC
+from repro.usecases.rescue import RescueService, verify_password_reset
+from repro.usecases.scanner import (
+    DEFAULT_SECDB,
+    SecurityScanner,
+    alpine_installed_db,
+    parse_installed_db,
+    version_less,
+)
+from repro.usecases.serverless import ServerlessDebugger, VHivePlatform
+
+
+# -- scanner helpers -------------------------------------------------------------
+
+def test_installed_db_roundtrip():
+    packages = {"openssl": "1.1.1k-r0", "musl": "1.2.2-r3"}
+    assert parse_installed_db(alpine_installed_db(packages)) == packages
+
+
+def test_version_comparison():
+    assert version_less("1.1.1k-r0", "1.1.1l-r0")
+    assert not version_less("1.1.1l-r0", "1.1.1l-r0")
+    assert version_less("1.34.1-r2", "1.34.1-r3")
+    assert not version_less("1.34.1-r5", "1.34.1-r3")
+    assert version_less("1.2.1-r9", "1.2.2-r0")
+    assert version_less("2.12.5-r0", "2.12.6-r0")
+
+
+def test_match_flags_only_vulnerable():
+    installed = {"openssl": "1.1.1k-r0", "busybox": "1.34.1-r5", "unknown-pkg": "1.0"}
+    report = SecurityScanner.match(installed, DEFAULT_SECDB)
+    assert report.packages_scanned == 3
+    assert report.vulnerable_packages == ["openssl"]
+    assert {v.cve for v in report.vulnerabilities} == {
+        "CVE-2021-3711", "CVE-2021-3712",
+    }
+
+
+def test_scanner_on_non_alpine_guest_fails():
+    tb = Testbed()
+    hv = tb.launch_qemu()  # no apk database
+    with pytest.raises(VmshError, match="apk"):
+        SecurityScanner(tb.vmsh()).scan(hv)
+
+
+# -- rescue ---------------------------------------------------------------------------
+
+def test_rescue_resets_password_without_reboot():
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    boot_count_before = len(hv.guest.klog)
+    report = RescueService(tb.vmsh()).reset_password(hv, "root", "s3cret")
+    assert verify_password_reset(report, "root")
+    # Same boot: klog grew (vmsh messages) but was never reset.
+    assert len(hv.guest.klog) > boot_count_before
+    assert any("booted" in line for line in hv.guest.klog[:3])
+
+
+def test_rescue_unknown_user():
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    report = RescueService(tb.vmsh()).reset_password(hv, "ghost", "pw")
+    assert "not found" in report.shell_output
+    assert not verify_password_reset(report, "ghost")
+
+
+# -- serverless -----------------------------------------------------------------------
+
+def _platform():
+    tb = Testbed()
+    platform = VHivePlatform(tb)
+    platform.deploy("resize", lambda p: {"ok": p["width"] * 2})
+    return tb, platform
+
+
+def test_invoke_success_and_logs():
+    tb, platform = _platform()
+    assert platform.invoke("resize", {"width": 4}) == {"ok": 8}
+    assert any("invoke ok" in l.message for l in platform.logs)
+
+
+def test_invoke_error_logged_not_raised():
+    tb, platform = _platform()
+    assert platform.invoke("resize", {"wrong": 1}) is None
+    errors = [l for l in platform.logs if l.level == "ERROR"]
+    assert len(errors) == 1
+    assert "KeyError" in errors[0].message
+
+
+def test_undeployed_function_rejected():
+    tb, platform = _platform()
+    with pytest.raises(VmshError):
+        platform.invoke("nope", {})
+
+
+def test_instances_are_reused_when_warm():
+    tb, platform = _platform()
+    platform.invoke("resize", {"width": 1})
+    platform.invoke("resize", {"width": 2})
+    assert len(platform.live_instances()) == 1
+
+
+def test_scale_down_after_idle():
+    tb, platform = _platform()
+    platform.invoke("resize", {"width": 1})
+    assert platform.scale_down() == []          # still warm
+    tb.clock.advance(3 * SEC)
+    assert len(platform.scale_down()) == 1
+    assert platform.live_instances() == []
+
+
+def test_debugger_requires_an_error():
+    tb, platform = _platform()
+    platform.invoke("resize", {"width": 1})
+    debugger = ServerlessDebugger(platform)
+    with pytest.raises(VmshError, match="no lambda errors"):
+        debugger.debug_shell()
+
+
+def test_debug_shell_pins_against_scale_down():
+    tb, platform = _platform()
+    platform.invoke("resize", {"bad": 1})
+    debugger = ServerlessDebugger(platform)
+    session = debugger.debug_shell()
+    tb.clock.advance(10 * SEC)
+    assert platform.scale_down() == []          # pinned
+    assert not session.instance.terminated
+    out = session.session.console.run_command("cat /etc/motd")
+    assert "debug shell" in out.output
+    session.close()
+    assert len(platform.scale_down()) == 1      # released
+
+
+def test_debug_shell_too_late_after_scale_down():
+    tb, platform = _platform()
+    platform.invoke("resize", {"bad": 1})
+    tb.clock.advance(10 * SEC)
+    platform.scale_down()
+    with pytest.raises(VmshError, match="scaled down"):
+        ServerlessDebugger(platform).debug_shell()

@@ -1,0 +1,68 @@
+"""Kernel versions and compatibility eras (§6.2)."""
+
+import pytest
+
+from repro.guestos.version import (
+    ALL_TESTED_VERSIONS,
+    DEVELOPMENT_VERSION,
+    KernelVersion,
+    LTS_VERSIONS,
+)
+
+
+def test_parse_variants():
+    assert KernelVersion.parse("v5.10") == KernelVersion(5, 10)
+    assert KernelVersion.parse("4.19") == KernelVersion(4, 19)
+    assert KernelVersion.parse("5.10.42") == KernelVersion(5, 10)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        KernelVersion.parse("five.ten")
+    with pytest.raises(ValueError):
+        KernelVersion.parse("5")
+
+
+def test_ordering():
+    assert KernelVersion(4, 9) < KernelVersion(4, 14)
+    assert KernelVersion(4, 19) < KernelVersion(5, 4)
+    assert sorted(ALL_TESTED_VERSIONS) == ALL_TESTED_VERSIONS
+
+
+def test_ksymtab_layout_changed_twice():
+    """'The memory layout of kernel symbols changed twice' (§6.2)."""
+    layouts = [v.ksymtab_layout for v in LTS_VERSIONS]
+    transitions = sum(1 for a, b in zip(layouts, layouts[1:]) if a != b)
+    assert transitions == 2
+    assert KernelVersion(4, 14).ksymtab_layout == "absolute"
+    assert KernelVersion(4, 19).ksymtab_layout == "prel32"
+    assert KernelVersion(5, 4).ksymtab_layout == "prel32_ns"
+
+
+def test_kernel_rw_variant_split():
+    """kernel_read/kernel_write changed at 4.14 (2 of the functions)."""
+    assert KernelVersion(4, 9).kernel_rw_variant == "pos_second"
+    assert KernelVersion(4, 14).kernel_rw_variant == "pos_pointer"
+    assert KernelVersion(5, 10).kernel_rw_variant == "pos_pointer"
+
+
+def test_two_of_four_structs_conditioned():
+    """2 of the 4 structures need version conditioning (§6.2)."""
+    old, new = KernelVersion(4, 4), KernelVersion(5, 10)
+    conditioned = 0
+    if old.pdev_info_era != new.pdev_info_era:
+        conditioned += 1
+    if old.console_cfg_era != new.console_cfg_era:
+        conditioned += 1
+    assert conditioned == 2
+
+
+def test_banner_contains_version():
+    banner = KernelVersion(5, 4).banner()
+    assert banner.startswith("Linux version 5.4.0")
+
+
+def test_tested_versions_cover_table1():
+    names = {str(v) for v in ALL_TESTED_VERSIONS}
+    assert {"v5.10", "v5.4", "v4.19", "v4.14", "v4.9", "v4.4"} <= names
+    assert str(DEVELOPMENT_VERSION) == "v5.12"

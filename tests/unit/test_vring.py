@@ -1,0 +1,150 @@
+"""Split virtqueues: descriptor chains, avail/used rings, batching."""
+
+import pytest
+
+from repro.errors import VirtioError
+from repro.kvm.api import KvmSystem
+from repro.host.kernel import HostKernel
+from repro.mem.physmem import PhysicalMemory
+from repro.units import MiB
+from repro.virtio.vring import (
+    DESC_SIZE,
+    DeviceRing,
+    DriverRing,
+    avail_ring_size,
+    desc_table_size,
+    used_ring_size,
+)
+
+
+class DirectMemory:
+    """Adapter giving PhysicalMemory the accessor interface."""
+
+    def __init__(self, mem: PhysicalMemory):
+        self._mem = mem
+
+    def read(self, gpa, length):
+        return self._mem.read(gpa, length)
+
+    def write(self, gpa, data):
+        self._mem.write(gpa, data)
+
+    def read_u16(self, gpa):
+        return self._mem.read_u16(gpa)
+
+    def read_u32(self, gpa):
+        return self._mem.read_u32(gpa)
+
+    def read_u64(self, gpa):
+        return self._mem.read_u64(gpa)
+
+    def write_u16(self, gpa, value):
+        self._mem.write_u16(gpa, value)
+
+    def write_u32(self, gpa, value):
+        self._mem.write_u32(gpa, value)
+
+    def write_u64(self, gpa, value):
+        self._mem.write_u64(gpa, value)
+
+
+@pytest.fixture()
+def rings():
+    mem = DirectMemory(PhysicalMemory(1 * MiB))
+    size = 8
+    desc, avail, used = 0x1000, 0x2000, 0x3000
+    driver = DriverRing(mem, desc, avail, used, size)
+    device = DeviceRing(mem, desc, avail, used, size)
+    return mem, driver, device
+
+
+def test_ring_sizes():
+    assert desc_table_size(8) == 8 * DESC_SIZE
+    assert avail_ring_size(8) == 4 + 16
+    assert used_ring_size(8) == 4 + 64
+
+
+def test_queue_size_must_be_power_of_two():
+    mem = DirectMemory(PhysicalMemory(1 * MiB))
+    with pytest.raises(VirtioError):
+        DriverRing(mem, 0x1000, 0x2000, 0x3000, 6)
+
+
+def test_chain_roundtrip(rings):
+    mem, driver, device = rings
+    head = driver.add_chain([(0x10000, 100, False), (0x20000, 200, True)])
+    heads = device.pop_available()
+    assert heads == [head]
+    chain = device.read_chain(head)
+    assert [(d.addr, d.length, d.device_writable) for d in chain] == [
+        (0x10000, 100, False),
+        (0x20000, 200, True),
+    ]
+    device.push_used(head, 200)
+    completed = driver.collect_used()
+    assert completed == [(head, 200)]
+
+
+def test_descriptors_recycle(rings):
+    _, driver, device = rings
+    for round_ in range(30):  # 30 rounds of 2-desc chains on an 8-deep queue
+        head = driver.add_chain([(0x1000, 1, False), (0x2000, 1, True)])
+        assert device.pop_available() == [head]
+        device.push_used(head, 0)
+        driver.collect_used()
+    assert driver.free_descriptors == 8
+
+
+def test_queue_full(rings):
+    _, driver, _ = rings
+    for _ in range(4):
+        driver.add_chain([(0x1000, 1, False), (0x2000, 1, True)])
+    with pytest.raises(VirtioError, match="queue full"):
+        driver.add_chain([(0x1000, 1, False)])
+
+
+def test_empty_chain_rejected(rings):
+    _, driver, _ = rings
+    with pytest.raises(VirtioError):
+        driver.add_chain([])
+
+
+def test_multiple_chains_one_notify(rings):
+    _, driver, device = rings
+    h1 = driver.add_chain([(0x1000, 1, False)])
+    h2 = driver.add_chain([(0x2000, 1, False)])
+    assert device.pop_available() == [h1, h2]
+    assert device.pop_available() == []
+
+
+def test_batched_table_snapshot(rings):
+    _, driver, device = rings
+    head = driver.add_chain([(0xAAAA000, 4, False), (0xBBBB000, 8, True)])
+    table = device.read_table()
+    chain = device.read_chain(head, table)
+    assert chain[0].addr == 0xAAAA000
+    assert chain[1].addr == 0xBBBB000
+
+
+def test_device_completion_of_unknown_head_rejected(rings):
+    mem, driver, device = rings
+    head = driver.add_chain([(0x1000, 1, False)])
+    device.pop_available()
+    wrong = (head + 3) % 8
+    device.push_used(wrong, 0)  # not the published head
+    with pytest.raises(VirtioError, match="unknown chain"):
+        driver.collect_used()
+
+
+def test_index_wraparound(rings):
+    """avail/used indices are u16 running counters that must wrap."""
+    _, driver, device = rings
+    driver._avail_idx = 0xFFFE
+    device._last_avail = 0xFFFE
+    device._used_idx = 0xFFFE
+    driver._last_used = 0xFFFE
+    for _ in range(4):  # crosses the 0xFFFF -> 0 boundary
+        head = driver.add_chain([(0x1000, 1, False)])
+        assert device.pop_available() == [head]
+        device.push_used(head, 1)
+        assert driver.collect_used() == [(head, 1)]
