@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate: byte-compile, full test suite, then the copy-path
+# ablations that guard the guest-memory fast path.  Run from anywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+python -m compileall -q src
+
+PYTHONPATH=src python -m pytest -x -q
+
+PYTHONPATH=src python -m pytest -q \
+    benchmarks/test_ablation_copy_path.py \
+    benchmarks/test_ablation_sg_batching.py

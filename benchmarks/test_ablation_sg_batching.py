@@ -1,0 +1,92 @@
+"""Ablation: scatter-gather batching of process_vm copies.
+
+A 256 KiB direct-IO request scatters over 64 descriptor pages of the
+guest driver's DMA pool.  Before batching, vmsh-blk paid one
+``process_vm_readv``/``writev`` call per page; the fast path carries
+the whole scatter list in one call (up to IOV_MAX segments), paying
+the syscall entry once plus a small per-segment pinning charge.  This
+run quantifies what that buys on large IO and checks it does *not*
+change the paper's Fig. 5 story: vmsh-blk stays slower than qemu-blk,
+and the §5 staged-copy path stays slowest of all.
+"""
+
+from conftest import write_report
+
+from repro.bench.harness import BenchEnv, make_env
+from repro.bench.workloads.fio import FioJob, run_fio
+from repro.image.builder import build_admin_image
+from repro.testbed import Testbed
+from repro.units import KiB, MiB
+
+
+def _vmsh_env(copy_path: str):
+    testbed = Testbed()
+    hv = testbed.launch_qemu()
+    session = testbed.vmsh().attach(
+        hv.pid,
+        image=build_admin_image(extra_space=64 * MiB),
+        copy_path=copy_path,
+    )
+    overlay = hv.guest.vmsh_overlay
+    vfs = overlay.overlay.vfs
+    vfs.makedirs("/bench")
+    return BenchEnv(
+        f"vmsh-blk-{copy_path}",
+        testbed, vfs, "/bench", overlay.overlay.namespace.root_mount().fs,
+        device=hv.guest.vmsh_block, session=session, hypervisor=hv,
+    )
+
+
+def _large_io(env) -> float:
+    job = FioJob(block_size=256 * KiB, total_bytes=16 * MiB, pattern="seq",
+                 direction="write", direct=True, name="sg-large-write")
+    write = run_fio(env, job).value
+    env.drop_caches()
+    job = FioJob(block_size=256 * KiB, total_bytes=16 * MiB, pattern="seq",
+                 direction="read", direct=True, name="sg-large-read")
+    read = run_fio(env, job).value
+    return (read + write) / 2
+
+
+def _measure(copy_path: str):
+    env = _vmsh_env(copy_path)
+    mbps = _large_io(env)
+    return mbps, env.session.memory_stats()["device"]
+
+
+def test_ablation_sg_batching(benchmark, results_dir):
+    def run():
+        return (
+            _measure("vectored"),
+            _measure("per_page"),
+            _measure("staged"),
+            _large_io(make_env("qemu-blk", disk_size=64 * MiB)),
+        )
+
+    (vectored, vec_dev), (per_page, pp_dev), (staged, _), qemu = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    speedup = vectored / per_page
+    write_report(results_dir, "ablation_sg_batching", [
+        "Ablation: scatter-gather batching of process_vm copies",
+        "",
+        f"vectored (batched iovecs):    {vectored:9.1f} MB/s   "
+        f"({vec_dev['segments_coalesced']} segments coalesced over "
+        f"{vec_dev['calls']} calls)",
+        f"per-page (one call/segment):  {per_page:9.1f} MB/s",
+        f"staged (§5 unoptimised):      {staged:9.1f} MB/s",
+        f"qemu-blk (in-process):        {qemu:9.1f} MB/s",
+        "",
+        f"batching speedup on 256 KiB direct IO: {speedup:.2f}x",
+    ])
+    # Batching pays off on large scattered IO, within reason.
+    assert 1.15 <= speedup <= 2.5
+    # The counters show the mechanism: only the batched path coalesces.
+    assert vec_dev["segments_coalesced"] > 0
+    assert vec_dev["calls"] < pp_dev["calls"]
+    assert pp_dev["segments_coalesced"] == 0
+    # Fig. 5 ordering is preserved: cross-process still beats neither
+    # the in-process device nor gets beaten by the staged-copy path.
+    assert vectored < qemu
+    assert staged < per_page
+    benchmark.extra_info["sg_speedup"] = round(speedup, 2)

@@ -45,6 +45,7 @@ class VmshDeviceHost:
         exec_irq: Optional[Callable[[], None]] = None,
     ):
         self.costs = costs
+        self.accessor = accessor
         self.pts = pts if pts is not None else Pts(costs)
         self.console = VirtioConsoleDevice(
             accessor=accessor,

@@ -6,14 +6,28 @@ page-table walker on top of that into a guest-*virtual* accessor.  All
 of VMSH's binary analysis (KASLR scan, ksymtab parsing, banner read)
 and its library loader run through this gateway — paying the same
 cross-process costs the real system pays.
+
+Two optimisations keep the hot path cheap without changing what is
+paid *per mechanism*:
+
+* a small software TLB caches page-table walks per 4K virtual page,
+  keyed implicitly by the current CR3 (it is flushed on
+  :meth:`GuestMemoryGateway.set_cr3` and
+  :meth:`~GuestMemoryGateway.refresh_memslots`, like a real TLB on a
+  CR3 write).  Each walk costs four remote u64 reads, so a big
+  ``read_virt`` re-walking every page on every call was pure waste.
+* ``read_virt``/``write_virt`` translate the whole range first, merge
+  physically-contiguous page runs, and push the result through the
+  accessor's scatter-gather API — one charged ``process_vm_*`` call
+  instead of one per page.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Dict, List, Tuple
 
 from repro.arch import Arch, X86_64
-from repro.errors import SideloadError
+from repro.errors import PageFaultError, SideloadError
 from repro.host.kernel import HostKernel
 from repro.host.process import Thread
 from repro.units import PAGE_SIZE
@@ -41,16 +55,25 @@ class GuestMemoryGateway:
         )
         self.walker = arch.walker(self.phys.read_u64)
         self.cr3 = 0
+        self._tlb: Dict[int, int] = {}      # vpage base -> page-frame paddr
+        self.tlb_hits = 0
+        self.tlb_misses = 0
 
     def refresh_memslots(self, memslot_records: List) -> None:
         """Re-snapshot after VMSH adds its own memslot."""
+        old_stats = self.phys.stats
         self.translator = GpaTranslator(memslot_records)
         self.phys = RemoteProcessAccessor(
             self.kernel, self.vmsh_thread, self.hypervisor_pid, self.translator
         )
+        self.phys.stats = old_stats         # keep counters cumulative
         self.walker = self.arch.walker(self.phys.read_u64)
+        # The gpa -> hva map changed under the cached walks; drop them.
+        self._tlb.clear()
 
     def set_cr3(self, cr3: int) -> None:
+        if cr3 != self.cr3:
+            self._tlb.clear()
         self.cr3 = cr3
 
     # -- virtual access ------------------------------------------------------------
@@ -58,29 +81,55 @@ class GuestMemoryGateway:
     def translate(self, vaddr: int) -> int:
         if not self.cr3:
             raise SideloadError("gateway has no CR3 yet")
-        return self.walker.translate(self.cr3, vaddr).paddr
+        vpage = vaddr & ~(PAGE_SIZE - 1)
+        base = self._tlb.get(vpage)
+        if base is None:
+            self.tlb_misses += 1
+            base = self.walker.translate(self.cr3, vpage).paddr
+            self._tlb[vpage] = base         # faults propagate, never cached
+        else:
+            self.tlb_hits += 1
+        return base + (vaddr - vpage)
 
-    def read_virt(self, vaddr: int, length: int) -> bytes:
-        out = bytearray()
+    def is_mapped(self, vaddr: int) -> bool:
+        """True when ``vaddr`` translates under the current CR3."""
+        try:
+            self.translate(vaddr)
+            return True
+        except PageFaultError:
+            return False
+
+    @property
+    def tlb_hit_rate(self) -> float:
+        total = self.tlb_hits + self.tlb_misses
+        return self.tlb_hits / total if total else 0.0
+
+    def _phys_runs(self, vaddr: int, length: int) -> List[Tuple[int, int]]:
+        """Translate ``[vaddr, vaddr+length)`` into merged paddr runs."""
+        runs: List[Tuple[int, int]] = []
         pos = 0
         while pos < length:
             cur = vaddr + pos
             paddr = self.translate(cur)
             in_page = cur & (PAGE_SIZE - 1)
             chunk = min(length - pos, PAGE_SIZE - in_page)
-            out += self.phys.read(paddr, chunk)
+            if runs and runs[-1][0] + runs[-1][1] == paddr:
+                runs[-1] = (runs[-1][0], runs[-1][1] + chunk)
+            else:
+                runs.append((paddr, chunk))
             pos += chunk
-        return bytes(out)
+        return runs
+
+    def read_virt(self, vaddr: int, length: int) -> bytes:
+        return self.phys.read_vectored(self._phys_runs(vaddr, length))
 
     def write_virt(self, vaddr: int, data: bytes) -> None:
+        iov: List[Tuple[int, bytes]] = []
         pos = 0
-        while pos < len(data):
-            cur = vaddr + pos
-            paddr = self.translate(cur)
-            in_page = cur & (PAGE_SIZE - 1)
-            chunk = min(len(data) - pos, PAGE_SIZE - in_page)
-            self.phys.write(paddr, data[pos : pos + chunk])
+        for paddr, chunk in self._phys_runs(vaddr, len(data)):
+            iov.append((paddr, data[pos : pos + chunk]))
             pos += chunk
+        self.phys.write_vectored(iov)
 
     def read_cstring(self, vaddr: int, max_length: int = 256) -> str:
         """Read a NUL-terminated ASCII string from guest virtual memory."""

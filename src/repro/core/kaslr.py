@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.gateway import GuestMemoryGateway
-from repro.errors import KernelNotFoundError, PageFaultError
+from repro.errors import KernelNotFoundError
 from repro.units import PAGE_SIZE
 
 
@@ -41,7 +41,7 @@ def find_kernel(gateway: GuestMemoryGateway, max_image_size: int = 64 * 1024 * 1
         arch.kernel_text_base + arch.kernel_text_range,
         arch.kaslr_align,
     ):
-        if _is_mapped(gateway, slot_base):
+        if gateway.is_mapped(slot_base):
             vbase = slot_base
             break
     if vbase is None:
@@ -49,15 +49,10 @@ def find_kernel(gateway: GuestMemoryGateway, max_image_size: int = 64 * 1024 * 1
             "no mapped pages in the KASLR range — is CR3 from a booted vCPU?"
         )
 
+    # The fine-grained end scan walks each page once; the gateway's TLB
+    # remembers the walks, so the later ksymtab read of the same image
+    # pays no second round of remote page-table reads.
     vend = vbase
-    while vend < vbase + max_image_size and _is_mapped(gateway, vend):
+    while vend < vbase + max_image_size and gateway.is_mapped(vend):
         vend += PAGE_SIZE
     return KernelLocation(vbase=vbase, vend=vend)
-
-
-def _is_mapped(gateway: GuestMemoryGateway, vaddr: int) -> bool:
-    try:
-        gateway.translate(vaddr)
-        return True
-    except PageFaultError:
-        return False

@@ -49,6 +49,10 @@ class ParsedKsymtab:
 
 def parse_ksymtab(gateway: GuestMemoryGateway, location: KernelLocation) -> ParsedKsymtab:
     """Reconstruct the export table from the mapped kernel image."""
+    # One bulk read: the gateway resolves every page from its TLB
+    # (find_kernel already walked them) and gathers physically
+    # contiguous runs into batched process_vm_readv calls, instead of
+    # one remote walk + one syscall per page of the image.
     image = gateway.read_virt(location.vbase, location.size)
     regions = _find_string_regions(image)
     if not regions:

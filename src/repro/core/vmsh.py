@@ -68,9 +68,22 @@ from repro.kvm.vcpu import VcpuFd
 from repro.sideload import parse_blob, reloc_slot_offset
 from repro.units import MiB, PAGE_SIZE, page_align_up
 from repro.virtio.console import Pts
-from repro.virtio.memio import BytewiseRemoteAccessor, RemoteProcessAccessor
+from repro.virtio.memio import (
+    BytewiseRemoteAccessor,
+    PerPageRemoteAccessor,
+    RemoteProcessAccessor,
+)
 
 PT_RESERVE_PAGES = 64
+
+#: Guest-memory copy paths selectable at attach time.  "vectored" is
+#: the sg-batched fast path; "per_page" issues one process_vm_* call
+#: per segment (pre-batching); "staged" is the pre-§5 bytewise ablation.
+COPY_PATHS = {
+    "vectored": RemoteProcessAccessor,
+    "per_page": PerPageRemoteAccessor,
+    "staged": BytewiseRemoteAccessor,
+}
 
 
 @dataclass
@@ -86,6 +99,17 @@ class AttachReport:
     mmio_mode: str
     attach_ns: int
     transport: str = "mmio"
+    copy_path: str = "vectored"
+    #: per-accessor copy counters at the end of attach ("gateway" is
+    #: VMSH's analysis/loader path, "device" the VirtIO device path)
+    accessor_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+
+    @property
+    def tlb_hit_rate(self) -> float:
+        total = self.tlb_hits + self.tlb_misses
+        return self.tlb_hits / total if total else 0.0
 
 
 @dataclass
@@ -122,6 +146,7 @@ class VmshSession:
         device_host: VmshDeviceHost,
         dispatch: MmioDispatch,
         ptrace_session: Optional[PtraceSession],
+        gateway: Optional[GuestMemoryGateway] = None,
     ):
         self.vmsh = vmsh
         self.report = report
@@ -129,7 +154,19 @@ class VmshSession:
         self.device_host = device_host
         self.dispatch = dispatch
         self._ptrace = ptrace_session
+        self.gateway = gateway
         self.detached = False
+
+    def memory_stats(self) -> Dict[str, Dict[str, int]]:
+        """Live copy-path counters (the report holds the attach-time snapshot)."""
+        stats = {"device": self.device_host.accessor.stats.as_dict()}
+        if self.gateway is not None:
+            stats["gateway"] = self.gateway.phys.stats.as_dict()
+            stats["tlb"] = {
+                "hits": self.gateway.tlb_hits,
+                "misses": self.gateway.tlb_misses,
+            }
+        return stats
 
     @property
     def mmio_mode(self) -> str:
@@ -192,6 +229,7 @@ class Vmsh:
         container_pid: int = 0,
         image: Optional[bytes] = None,
         unoptimised_copy: bool = False,
+        copy_path: str = "vectored",
         transport: str = "mmio",
         exec_device: bool = False,
         seccomp_aware: bool = False,
@@ -207,28 +245,34 @@ class Vmsh:
         paper plans as future work), or ``"auto"`` (mmio first, PCI
         fallback).
 
-        ``unoptimised_copy`` selects the pre-§5 staged copy path (kept
-        for the ablation benchmark).
+        ``copy_path`` selects the device's guest-memory copy path (see
+        :data:`COPY_PATHS`); ``unoptimised_copy=True`` is a shorthand
+        for the pre-§5 ``"staged"`` path (kept for the ablation
+        benchmark).
         """
         if transport not in ("auto", "mmio", "pci"):
             raise VmshError(f"unknown virtio transport {transport!r}")
+        if unoptimised_copy:
+            copy_path = "staged"
+        if copy_path not in COPY_PATHS:
+            raise VmshError(f"unknown copy path {copy_path!r}")
         if transport == "auto":
             try:
                 return self._attach_once(
                     hypervisor_pid, mmio_mode, command, container_pid,
-                    image, unoptimised_copy, "mmio", exec_device,
+                    image, copy_path, "mmio", exec_device,
                     seccomp_aware,
                 )
             except HypervisorNotSupportedError:
                 # MSI-X-only irqchip: retry over PCI (§6.2 future work).
                 return self._attach_once(
                     hypervisor_pid, mmio_mode, command, container_pid,
-                    image, unoptimised_copy, "pci", exec_device,
+                    image, copy_path, "pci", exec_device,
                     seccomp_aware,
                 )
         return self._attach_once(
             hypervisor_pid, mmio_mode, command, container_pid, image,
-            unoptimised_copy, transport, exec_device, seccomp_aware,
+            copy_path, transport, exec_device, seccomp_aware,
         )
 
     def _attach_once(
@@ -238,7 +282,7 @@ class Vmsh:
         command: str,
         container_pid: int,
         image: Optional[bytes],
-        unoptimised_copy: bool,
+        copy_path: str,
         transport: str,
         exec_device: bool = False,
         seccomp_aware: bool = False,
@@ -304,9 +348,7 @@ class Vmsh:
 
             # Devices + dispatch.
             image_bytes = image if image is not None else self.image
-            accessor_cls = (
-                BytewiseRemoteAccessor if unoptimised_copy else RemoteProcessAccessor
-            )
+            accessor_cls = COPY_PATHS[copy_path]
             accessor = accessor_cls(
                 self.host, self._thread, hypervisor_pid, gateway.translator
             )
@@ -362,6 +404,13 @@ class Vmsh:
             mmio_mode=mode,
             attach_ns=self.host.clock.now - start_ns,
             transport=transport,
+            copy_path=copy_path,
+            accessor_stats={
+                "gateway": gateway.phys.stats.as_dict(),
+                "device": accessor.stats.as_dict(),
+            },
+            tlb_hits=gateway.tlb_hits,
+            tlb_misses=gateway.tlb_misses,
         )
         self.host.tracer.emit(
             "vmsh", "attached", pid=hypervisor_pid, mode=mode,
@@ -374,6 +423,7 @@ class Vmsh:
             device_host=device_host,
             dispatch=dispatch,
             ptrace_session=ptrace_ref,
+            gateway=gateway,
         )
 
     # ------------------------------------------------------------------
@@ -436,9 +486,14 @@ class Vmsh:
         vm_fd: int,
         plan: LibraryPlan,
         mode: str,
-    ) -> Tuple[int, int, Optional[SocketPair]]:
+    ) -> Tuple[int, int, Optional[int], Optional[SocketPair]]:
         """Create irqfds (and the ioregionfd socket) in the hypervisor
-        and pass them back over an injected UNIX socket."""
+        and pass them back over an injected UNIX socket.
+
+        Returns ``(console_efd, blk_efd, exec_efd, ioregion_socket)``;
+        ``exec_efd`` is ``None`` unless the plan includes the vm-exec
+        device, ``ioregion_socket`` is ``None`` outside ioregionfd mode.
+        """
         hv = session.tracee
         console_efd_hv = session.inject_syscall(thread, "eventfd2")
         blk_efd_hv = session.inject_syscall(thread, "eventfd2")

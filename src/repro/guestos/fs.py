@@ -443,7 +443,9 @@ class Filesystem:
             for page_index in [p for p in node.mem_pages if p >= first_dead_page]:
                 del node.mem_pages[page_index]
             if self.cache is not None:
-                self.cache.invalidate_inode(self.fs_id, node.no)
+                # Only the truncated-away pages die; dirty pages below
+                # the cut still hold unwritten data and must survive.
+                self.cache.invalidate_range(self.fs_id, node.no, first_dead_page)
             # Zero the tail of the now-partial last page so data past
             # EOF does not resurrect on re-extension.
             if new_size % PAGE_SIZE:

@@ -128,6 +128,21 @@ class PageCache:
             del self._pages[key]
             self._dirty.discard(key)
 
+    def invalidate_range(self, fs_id: int, inode: int, first_page: int) -> None:
+        """Drop an inode's cached pages at/after ``first_page`` (truncate).
+
+        Pages below the cut survive with their dirty state — discarding
+        them would lose writes that have not been written back yet.
+        """
+        keys = [
+            k
+            for k in self._pages
+            if k[0] == fs_id and k[1] == inode and k[2] >= first_page
+        ]
+        for key in keys:
+            del self._pages[key]
+            self._dirty.discard(key)
+
     def drop_clean(self) -> None:
         """Drop all clean pages (echo 1 > drop_caches)."""
         keys = [k for k in self._pages if k not in self._dirty]

@@ -150,21 +150,38 @@ class HostKernel:
         return ioctl(request, arg, thread)
 
     def _sys_process_vm_readv(
-        self, thread: Thread, pid: int, remote_addr: int, length: int
+        self, thread: Thread, pid: int, remote_addr, length: Optional[int] = None
     ) -> bytes:
+        """Read remote memory: ``(addr, length)`` or an iovec of them.
+
+        The scatter-gather form takes a sequence of ``(addr, length)``
+        segments as ``remote_addr`` — one syscall, charged per call +
+        per segment + per byte, exactly like the real vectored call.
+        """
         self._check_vm_access(thread.process, pid)
         remote = self.process(pid)
-        self.costs.procvm_copy(length)
-        return remote.address_space.read(remote_addr, length)
+        if length is not None:
+            iov = ((remote_addr, length),)
+        else:
+            iov = tuple(remote_addr)
+        self.costs.procvm_vectored(sum(l for _, l in iov), len(iov))
+        return b"".join(remote.address_space.read(a, l) for a, l in iov)
 
     def _sys_process_vm_writev(
-        self, thread: Thread, pid: int, remote_addr: int, data: bytes
+        self, thread: Thread, pid: int, remote_addr, data: Optional[bytes] = None
     ) -> int:
+        """Write remote memory: ``(addr, data)`` or an iovec of them."""
         self._check_vm_access(thread.process, pid)
         remote = self.process(pid)
-        self.costs.procvm_copy(len(data))
-        remote.address_space.write(remote_addr, data)
-        return len(data)
+        if data is not None:
+            iov = ((remote_addr, data),)
+        else:
+            iov = tuple(remote_addr)
+        total = sum(len(d) for _, d in iov)
+        self.costs.procvm_vectored(total, len(iov))
+        for addr, chunk in iov:
+            remote.address_space.write(addr, chunk)
+        return total
 
     def _sys_eventfd2(self, thread: Thread) -> int:
         return thread.process.fds.install(EventFd())

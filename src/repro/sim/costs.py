@@ -51,6 +51,7 @@ class CostParams:
     procvm_bytes_per_us: int = 6_000        # process_vm_readv/writev, 6 GB/s
     bytewise_bytes_per_us: int = 500      # unoptimised chunked copy path
     procvm_call_ns: int = 2_900             # fixed cost per process_vm_* call
+    procvm_seg_ns: int = 2_400              # per extra iovec segment in one call
     memcpy_call_ns: int = 120               # fixed cost per in-process copy
 
     # Storage
@@ -92,6 +93,10 @@ class CostModel:
     def _charge(self, counter: str, ns: int) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + 1
         self.clock.advance(ns)
+
+    def bump(self, counter: str, n: int = 1) -> None:
+        """Increment a counter without advancing the clock."""
+        self.counters[counter] = self.counters.get(counter, 0) + n
 
     def count(self, counter: str) -> int:
         return self.counters.get(counter, 0)
@@ -138,10 +143,25 @@ class CostModel:
         )
 
     def procvm_copy(self, nbytes: int) -> None:
+        self.procvm_vectored(nbytes, 1)
+
+    def procvm_vectored(self, nbytes: int, nsegs: int) -> None:
+        """One process_vm_readv/writev call carrying ``nsegs`` iovec segments.
+
+        Batching only saves the syscall entry and task lookup: the
+        kernel still pins and copies each segment, so every segment
+        after the first adds ``procvm_seg_ns`` on top of the per-call
+        and per-byte terms.  A single-segment call costs exactly what
+        :meth:`procvm_copy` always charged.
+        """
+        nsegs = max(1, nsegs)
         self._charge(
             "procvm_copy",
-            self._copy_ns(nbytes, self.p.procvm_bytes_per_us, self.p.procvm_call_ns),
+            self._copy_ns(nbytes, self.p.procvm_bytes_per_us, self.p.procvm_call_ns)
+            + (nsegs - 1) * self.p.procvm_seg_ns,
         )
+        if nsegs > 1:
+            self.bump("procvm_sg_segments", nsegs)
 
     def bytewise_copy(self, nbytes: int) -> None:
         """Unoptimised copy path, kept for the §5 ablation."""

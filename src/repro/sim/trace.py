@@ -36,14 +36,27 @@ class Tracer:
         self._max_events = max_events
         self.events: List[Event] = []
         self.enabled = True
+        #: total events evicted to bound memory across all truncations
+        self.dropped_events = 0
 
     def emit(self, category: str, name: str, /, **detail: Any) -> None:
         if not self.enabled:
             return
-        if len(self.events) >= self._max_events:
-            # Drop oldest half to bound memory on very long runs.
-            del self.events[: self._max_events // 2]
         now = self._clock.now if self._clock is not None else 0
+        if len(self.events) >= self._max_events:
+            # Drop oldest half to bound memory on very long runs, and
+            # leave a marker so truncated traces are detectable.
+            dropped = self._max_events // 2
+            del self.events[:dropped]
+            self.dropped_events += dropped
+            self.events.append(
+                Event(
+                    now,
+                    "tracer",
+                    "evicted",
+                    {"dropped": dropped, "total_dropped": self.dropped_events},
+                )
+            )
         self.events.append(Event(now, category, name, detail))
 
     def find(self, category: Optional[str] = None, name: Optional[str] = None) -> List[Event]:

@@ -183,21 +183,25 @@ class VirtioBlkDevice(VirtioMmioDevice):
         written = 0
         try:
             if req_type == C.VIRTIO_BLK_T_IN:
-                # One backend read for the whole request, then scatter
-                # into the guest's buffers descriptor by descriptor.
+                # One backend read for the whole request, then one
+                # scattered copy into the guest's buffers.
                 total = sum(d.length for d in data_descs)
                 payload = self.backend.read(sector, total // SECTOR_SIZE)
+                iov = []
                 at = 0
                 for desc in data_descs:
                     if not desc.device_writable:
                         raise VirtioError("read request with device-read-only buffer")
-                    self.mem.write(desc.addr, payload[at : at + desc.length])
+                    iov.append((desc.addr, payload[at : at + desc.length]))
                     at += desc.length
                     written += desc.length
+                self.mem.write_vectored(iov)
             elif req_type == C.VIRTIO_BLK_T_OUT:
-                # Gather descriptor by descriptor, one backend write.
-                parts = [self.mem.read(d.addr, d.length) for d in data_descs]
-                self.backend.write(sector, b"".join(parts))
+                # One gathered copy over the whole chain, one backend write.
+                data = self.mem.read_vectored(
+                    [(d.addr, d.length) for d in data_descs]
+                )
+                self.backend.write(sector, data)
             elif req_type == C.VIRTIO_BLK_T_FLUSH:
                 self.backend.flush()
             else:

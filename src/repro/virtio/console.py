@@ -98,10 +98,14 @@ class VirtioConsoleDevice(VirtioMmioDevice):
         ring = self._ring(TX_QUEUE)
         emitted = False
         for head in ring.pop_available():
-            for desc in ring.read_chain(head):
+            chain = ring.read_chain(head)
+            for desc in chain:
                 if desc.device_writable:
                     raise VirtioError("TX buffer must be device-readable")
-                self.pts.device_write(self.mem.read(desc.addr, desc.length))
+            # One gathered copy for the whole chain.
+            self.pts.device_write(
+                self.mem.read_vectored([(d.addr, d.length) for d in chain])
+            )
             ring.push_used(head, 0)
             emitted = True
         if emitted:
@@ -127,18 +131,21 @@ class VirtioConsoleDevice(VirtioMmioDevice):
             chain = ring.read_chain(head)
             written = 0
             remaining = data
+            iov = []
             for desc in chain:
                 if not desc.device_writable:
                     raise VirtioError("RX buffer must be device-writable")
                 chunk = remaining[: desc.length]
                 if chunk:
-                    self.mem.write(desc.addr, chunk)
+                    iov.append((desc.addr, chunk))
                 written += len(chunk)
                 remaining = remaining[len(chunk) :]
                 if not remaining:
                     break
             if remaining:
                 raise VirtioError("console RX buffer too small for input")
+            # One scattered copy for the whole chain.
+            self.mem.write_vectored(iov)
             ring.push_used(head, written)
             delivered = True
         if delivered:

@@ -15,15 +15,31 @@ story (§5, §6.3):
   per-call cost is what makes large direct IO up to ~3.7x slower on
   vmsh-blk (Fig. 5) while the *bandwidth* term stays comparable.
 
-The unoptimised :class:`BytewiseRemoteAccessor` preserves the ablation
-of §5 ("this doubles the performance in Phoronix benchmarks"): it
-models the pre-optimisation copy path that staged data through an
-intermediate buffer instead of copying kernel-side.
+The fast path exploits what the real syscalls already offer: one
+``process_vm_readv`` call carries up to :data:`IOV_MAX` iovec segments,
+so a scattered payload costs one syscall entry plus a small per-segment
+pinning charge instead of one full syscall per page.  Devices hand the
+accessor a whole gather/scatter list via :meth:`GuestMemoryAccessor.
+read_vectored`/:meth:`~GuestMemoryAccessor.write_vectored` and
+:class:`RemoteProcessAccessor` coalesces it — merging hva-contiguous
+runs — into as few charged calls as possible.
+
+Two slower paths are kept for ablations:
+
+* :class:`PerPageRemoteAccessor` issues one ``process_vm_*`` call per
+  iovec segment — the repro's behaviour before sg-batching, used by
+  ``benchmarks/test_ablation_sg_batching.py``.
+* :class:`BytewiseRemoteAccessor` preserves the ablation of §5 ("this
+  doubles the performance in Phoronix benchmarks"): it models the
+  pre-optimisation copy path that staged data through an intermediate
+  buffer instead of copying kernel-side.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import VmshError
 from repro.host.kernel import HostKernel
@@ -31,15 +47,71 @@ from repro.host.process import Thread
 from repro.kvm.api import GuestPhysMemory
 from repro.sim.costs import CostModel
 
+# Linux caps one process_vm_readv/writev call at UIO_MAXIOV segments.
+IOV_MAX = 1024
+
+
+@dataclass
+class AccessorStats:
+    """Per-accessor copy-path counters.
+
+    ``reads``/``writes`` count API-level operations (one vectored call
+    counts once); ``calls`` counts the underlying charged copies
+    (syscalls or memcpys) they turned into; ``segments`` counts the
+    iovec segments those copies carried.  ``segments - calls`` is then
+    the number of syscalls the scatter-gather batching saved.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    calls: int = 0
+    segments: int = 0
+
+    @property
+    def segments_coalesced(self) -> int:
+        return self.segments - self.calls
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "calls": self.calls,
+            "segments": self.segments,
+            "segments_coalesced": self.segments_coalesced,
+        }
+
 
 class GuestMemoryAccessor:
     """Abstract gpa-addressed accessor used by device backends."""
+
+    def __init__(self) -> None:
+        self.stats = AccessorStats()
 
     def read(self, gpa: int, length: int) -> bytes:
         raise NotImplementedError
 
     def write(self, gpa: int, data: bytes) -> None:
         raise NotImplementedError
+
+    # Scatter-gather ----------------------------------------------------------
+
+    def read_vectored(self, iov: Sequence[Tuple[int, int]]) -> bytes:
+        """Read every ``(gpa, length)`` segment, concatenated.
+
+        The base implementation falls back to one access per segment;
+        accessors that can batch (one syscall per IOV_MAX segments)
+        override this.
+        """
+        return b"".join(self.read(gpa, length) for gpa, length in iov)
+
+    def write_vectored(self, iov: Sequence[Tuple[int, bytes]]) -> None:
+        """Write every ``(gpa, data)`` segment."""
+        for gpa, data in iov:
+            self.write(gpa, data)
 
     # Struct helpers ----------------------------------------------------------
 
@@ -66,38 +138,133 @@ class InProcessAccessor(GuestMemoryAccessor):
     """Device-in-hypervisor access: direct mapped memory."""
 
     def __init__(self, guest_memory: GuestPhysMemory, costs: CostModel):
+        super().__init__()
         self._mem = guest_memory
         self._costs = costs
 
     def read(self, gpa: int, length: int) -> bytes:
         self._costs.memcpy(length)
+        self.stats.reads += 1
+        self.stats.bytes_read += length
+        self.stats.calls += 1
+        self.stats.segments += 1
         return self._mem.read(gpa, length)
 
     def write(self, gpa: int, data: bytes) -> None:
         self._costs.memcpy(len(data))
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        self.stats.calls += 1
+        self.stats.segments += 1
         self._mem.write(gpa, data)
+
+    def read_vectored(self, iov: Sequence[Tuple[int, int]]) -> bytes:
+        # In-process the gather is one streamed copy over mapped RAM.
+        iov = [(gpa, length) for gpa, length in iov if length > 0]
+        if not iov:
+            return b""
+        total = sum(length for _, length in iov)
+        self._costs.memcpy(total)
+        self.stats.reads += 1
+        self.stats.bytes_read += total
+        self.stats.calls += 1
+        self.stats.segments += len(iov)
+        return b"".join(self._mem.read(gpa, length) for gpa, length in iov)
+
+    def write_vectored(self, iov: Sequence[Tuple[int, bytes]]) -> None:
+        iov = [(gpa, data) for gpa, data in iov if data]
+        if not iov:
+            return
+        total = sum(len(data) for _, data in iov)
+        self._costs.memcpy(total)
+        self.stats.writes += 1
+        self.stats.bytes_written += total
+        self.stats.calls += 1
+        self.stats.segments += len(iov)
+        for gpa, data in iov:
+            self._mem.write(gpa, data)
 
 
 class GpaTranslator:
-    """Translates gpa to hypervisor hva using eBPF-snooped memslots."""
+    """Translates gpa to hypervisor hva using eBPF-snooped memslots.
+
+    Slots are kept sorted by gpa and looked up with ``bisect`` so a
+    translation is O(log n) even when the hypervisor registers many
+    memslots.  Accesses that span several gpa-contiguous memslots are
+    split into per-slot hva runs by :meth:`to_hva_iov`; only a genuine
+    gpa hole raises :class:`VmshError`.
+    """
 
     def __init__(self, memslot_records: List):
         self._slots = sorted(memslot_records, key=lambda r: r.gpa)
+        self._starts = [record.gpa for record in self._slots]
+
+    def _slot_index(self, gpa: int) -> Optional[int]:
+        index = bisect_right(self._starts, gpa) - 1
+        if index >= 0:
+            record = self._slots[index]
+            if gpa < record.gpa + record.size:
+                return index
+        return None
+
+    def to_hva_iov(self, gpa: int, length: int) -> List[Tuple[int, int]]:
+        """Split ``[gpa, gpa+length)`` into per-memslot ``(hva, length)`` runs.
+
+        Raises :class:`VmshError` if any byte of the range falls into a
+        gpa hole no memslot covers.
+        """
+        runs: List[Tuple[int, int]] = []
+        pos = gpa
+        end = gpa + length
+        while pos < end:
+            index = self._slot_index(pos)
+            if index is None:
+                raise VmshError(
+                    f"gpa {pos:#x} (+{end - pos}) not covered by any snooped memslot"
+                )
+            record = self._slots[index]
+            take = min(end, record.gpa + record.size) - pos
+            runs.append((record.hva + (pos - record.gpa), take))
+            pos += take
+        return runs
 
     def to_hva(self, gpa: int, length: int) -> int:
-        for record in self._slots:
-            if record.gpa <= gpa and gpa + length <= record.gpa + record.size:
+        """Translate a range that must lie within a single memslot.
+
+        Callers that can handle an access spanning gpa-contiguous
+        memslots should use :meth:`to_hva_iov` instead.
+        """
+        index = self._slot_index(gpa)
+        if index is not None:
+            record = self._slots[index]
+            if gpa + length <= record.gpa + record.size:
                 return record.hva + (gpa - record.gpa)
         raise VmshError(
-            f"gpa {gpa:#x} (+{length}) not covered by any snooped memslot"
+            f"gpa {gpa:#x} (+{length}) not covered by a single snooped memslot"
         )
 
     def slots(self) -> List:
         return list(self._slots)
 
 
+def _merge_hva_run(runs: List[Tuple[int, int]], hva: int, length: int) -> None:
+    if runs and runs[-1][0] + runs[-1][1] == hva:
+        runs[-1] = (runs[-1][0], runs[-1][1] + length)
+    else:
+        runs.append((hva, length))
+
+
 class RemoteProcessAccessor(GuestMemoryAccessor):
-    """VMSH's access path: process_vm_readv/writev into the hypervisor."""
+    """VMSH's access path: process_vm_readv/writev into the hypervisor.
+
+    Vectored operations coalesce the whole iovec into as few syscalls
+    as possible (chunked at :data:`IOV_MAX`, as the kernel enforces).
+    Each caller-supplied segment stays its own iovec entry — the kernel
+    pins and copies per segment, so batching amortises only the syscall
+    entry, exactly as with the real vectored calls.  Only the slot
+    splits of one contiguous access may collapse back when two memslots
+    happen to be hva-adjacent.
+    """
 
     def __init__(
         self,
@@ -106,35 +273,156 @@ class RemoteProcessAccessor(GuestMemoryAccessor):
         hypervisor_pid: int,
         translator: GpaTranslator,
     ):
+        super().__init__()
         self._kernel = kernel
         self._thread = caller_thread
         self._pid = hypervisor_pid
         self._translator = translator
 
+    # -- hva run assembly -----------------------------------------------------
+
+    def _read_runs(self, iov: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        runs: List[Tuple[int, int]] = []
+        for gpa, length in iov:
+            if length <= 0:
+                continue
+            segment: List[Tuple[int, int]] = []
+            for hva, run_len in self._translator.to_hva_iov(gpa, length):
+                _merge_hva_run(segment, hva, run_len)
+            runs.extend(segment)
+        return runs
+
+    def _write_runs(self, iov: Iterable[Tuple[int, bytes]]) -> List[Tuple[int, bytes]]:
+        runs: List[Tuple[int, bytes]] = []
+        for gpa, data in iov:
+            if not data:
+                continue
+            segment: List[Tuple[int, bytes]] = []
+            pos = 0
+            for hva, run_len in self._translator.to_hva_iov(gpa, len(data)):
+                part = data[pos : pos + run_len]
+                pos += run_len
+                if segment and segment[-1][0] + len(segment[-1][1]) == hva:
+                    segment[-1] = (segment[-1][0], segment[-1][1] + part)
+                else:
+                    segment.append((hva, part))
+            runs.extend(segment)
+        return runs
+
+    def _readv(self, runs: List[Tuple[int, int]]) -> bytes:
+        out = []
+        for start in range(0, len(runs), IOV_MAX):
+            chunk = runs[start : start + IOV_MAX]
+            self.stats.calls += 1
+            self.stats.segments += len(chunk)
+            if len(chunk) == 1:
+                hva, length = chunk[0]
+                out.append(
+                    self._kernel.syscall(
+                        self._thread, "process_vm_readv", self._pid, hva, length
+                    )
+                )
+            else:
+                out.append(
+                    self._kernel.syscall(
+                        self._thread, "process_vm_readv", self._pid, chunk
+                    )
+                )
+        return b"".join(out)
+
+    def _writev(self, runs: List[Tuple[int, bytes]]) -> None:
+        for start in range(0, len(runs), IOV_MAX):
+            chunk = runs[start : start + IOV_MAX]
+            self.stats.calls += 1
+            self.stats.segments += len(chunk)
+            if len(chunk) == 1:
+                hva, data = chunk[0]
+                self._kernel.syscall(
+                    self._thread, "process_vm_writev", self._pid, hva, data
+                )
+            else:
+                self._kernel.syscall(
+                    self._thread, "process_vm_writev", self._pid, chunk
+                )
+
+    # -- accessor API ---------------------------------------------------------
+
     def read(self, gpa: int, length: int) -> bytes:
-        hva = self._translator.to_hva(gpa, length)
-        return self._kernel.syscall(
-            self._thread, "process_vm_readv", self._pid, hva, length
-        )
+        self.stats.reads += 1
+        self.stats.bytes_read += length
+        return self._readv(self._read_runs([(gpa, length)]))
 
     def write(self, gpa: int, data: bytes) -> None:
-        hva = self._translator.to_hva(gpa, len(data))
-        self._kernel.syscall(
-            self._thread, "process_vm_writev", self._pid, hva, data
-        )
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        self._writev(self._write_runs([(gpa, data)]))
+
+    def read_vectored(self, iov: Sequence[Tuple[int, int]]) -> bytes:
+        self.stats.reads += 1
+        self.stats.bytes_read += sum(length for _, length in iov)
+        return self._readv(self._read_runs(iov))
+
+    def write_vectored(self, iov: Sequence[Tuple[int, bytes]]) -> None:
+        self.stats.writes += 1
+        self.stats.bytes_written += sum(len(data) for _, data in iov)
+        self._writev(self._write_runs(iov))
+
+
+class PerPageRemoteAccessor(RemoteProcessAccessor):
+    """Ablation: the fast path *without* scatter-gather batching.
+
+    One ``process_vm_readv``/``writev`` call per iovec segment — how
+    every copy behaved before batching.  Used by
+    ``benchmarks/test_ablation_sg_batching.py`` to show what the
+    coalesced syscalls buy.
+    """
+
+    def read_vectored(self, iov: Sequence[Tuple[int, int]]) -> bytes:
+        return b"".join(self.read(gpa, length) for gpa, length in iov)
+
+    def write_vectored(self, iov: Sequence[Tuple[int, bytes]]) -> None:
+        for gpa, data in iov:
+            self.write(gpa, data)
 
 
 class BytewiseRemoteAccessor(RemoteProcessAccessor):
-    """The unoptimised copy path (ablation for §5's 2x claim)."""
+    """The unoptimised copy path (ablation for §5's 2x claim).
+
+    Predates both the kernel-side copy and sg-batching, so vectored
+    operations keep the base-class per-segment fallback.
+    """
 
     def read(self, gpa: int, length: int) -> bytes:
-        hva = self._translator.to_hva(gpa, length)
-        # Staged copy: the data crosses an intermediate userspace
-        # buffer at a much lower effective bandwidth.
-        self._kernel.costs.bytewise_copy(length)
-        return self._kernel.processes[self._pid].address_space.read(hva, length)
+        self.stats.reads += 1
+        self.stats.bytes_read += length
+        out = []
+        for hva, run_len in self._translator.to_hva_iov(gpa, length):
+            # Staged copy: the data crosses an intermediate userspace
+            # buffer at a much lower effective bandwidth.
+            self.stats.calls += 1
+            self.stats.segments += 1
+            self._kernel.costs.bytewise_copy(run_len)
+            out.append(
+                self._kernel.processes[self._pid].address_space.read(hva, run_len)
+            )
+        return b"".join(out)
 
     def write(self, gpa: int, data: bytes) -> None:
-        hva = self._translator.to_hva(gpa, len(data))
-        self._kernel.costs.bytewise_copy(len(data))
-        self._kernel.processes[self._pid].address_space.write(hva, data)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        pos = 0
+        for hva, run_len in self._translator.to_hva_iov(gpa, len(data)):
+            self.stats.calls += 1
+            self.stats.segments += 1
+            self._kernel.costs.bytewise_copy(run_len)
+            self._kernel.processes[self._pid].address_space.write(
+                hva, data[pos : pos + run_len]
+            )
+            pos += run_len
+
+    def read_vectored(self, iov: Sequence[Tuple[int, int]]) -> bytes:
+        return b"".join(self.read(gpa, length) for gpa, length in iov)
+
+    def write_vectored(self, iov: Sequence[Tuple[int, bytes]]) -> None:
+        for gpa, data in iov:
+            self.write(gpa, data)

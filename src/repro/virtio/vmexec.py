@@ -118,8 +118,8 @@ class VmExecDevice(VirtioMmioDevice):
             table = ring.read_table()
             for head in ring.pop_available():
                 chain = ring.read_chain(head, table)
-                payload = b"".join(
-                    self.mem.read(d.addr, d.length) for d in chain
+                payload = self.mem.read_vectored(
+                    [(d.addr, d.length) for d in chain]
                 )
                 self._responses.append(unpack_response(payload))
                 ring.push_used(head, 0)

@@ -134,12 +134,30 @@ class DeviceRing:
         self._last_avail = 0
         self._used_idx = 0
 
+    # Plain memories (tests, guest-side adapters) may lack the
+    # scatter-gather accessor API; fall back to per-segment access.
+
+    def _read_vectored(self, iov) -> bytes:
+        vectored = getattr(self._mem, "read_vectored", None)
+        if vectored is not None:
+            return vectored(iov)
+        return b"".join(self._mem.read(gpa, length) for gpa, length in iov)
+
+    def _write_vectored(self, iov) -> None:
+        vectored = getattr(self._mem, "write_vectored", None)
+        if vectored is not None:
+            vectored(iov)
+            return
+        for gpa, data in iov:
+            self._mem.write(gpa, data)
+
     def pop_available(self) -> List[int]:
         """New chain heads published by the driver since the last poll.
 
-        One access for the index, one batched access for the ring slice
-        — devices read rings in bulk, they do not chase one u16 at a
-        time across the process boundary.
+        One access for the index, one gathered access for exactly the
+        pending ring slots (two iovec segments when the window wraps) —
+        devices read rings in bulk, they do not chase one u16 at a time
+        across the process boundary.
         """
         avail_idx = self._mem.read_u16(self.avail_gpa + 2)
         pending = (avail_idx - self._last_avail) & 0xFFFF
@@ -147,12 +165,22 @@ class DeviceRing:
             return []
         if pending > self.size:
             raise VirtioError("avail ring advanced past queue size (corrupt idx?)")
-        ring_bytes = self._mem.read(self.avail_gpa + AVAIL_HEADER, 2 * self.size)
-        heads: List[int] = []
-        for _ in range(pending):
-            slot = self._last_avail % self.size
-            heads.append(int.from_bytes(ring_bytes[slot * 2 : slot * 2 + 2], "little"))
-            self._last_avail = (self._last_avail + 1) & 0xFFFF
+        ring_base = self.avail_gpa + AVAIL_HEADER
+        start = self._last_avail % self.size
+        if start + pending <= self.size:
+            iov = [(ring_base + start * 2, pending * 2)]
+        else:
+            tail = self.size - start
+            iov = [
+                (ring_base + start * 2, tail * 2),
+                (ring_base, (pending - tail) * 2),
+            ]
+        slot_bytes = self._read_vectored(iov)
+        heads = [
+            int.from_bytes(slot_bytes[at * 2 : at * 2 + 2], "little")
+            for at in range(pending)
+        ]
+        self._last_avail = (self._last_avail + pending) & 0xFFFF
         return heads
 
     def read_table(self) -> bytes:
@@ -196,9 +224,13 @@ class DeviceRing:
             index = next_index
 
     def push_used(self, head: int, written: int) -> None:
+        """Publish one completion: used element + index, one scattered write."""
         slot = self._used_idx % self.size
         base = self.used_gpa + USED_HEADER + slot * USED_ELEM_SIZE
-        self._mem.write_u32(base, head)
-        self._mem.write_u32(base + 4, written)
+        elem = (head & 0xFFFFFFFF).to_bytes(4, "little") + (
+            written & 0xFFFFFFFF
+        ).to_bytes(4, "little")
         self._used_idx = (self._used_idx + 1) & 0xFFFF
-        self._mem.write_u16(self.used_gpa + 2, self._used_idx)
+        self._write_vectored(
+            [(base, elem), (self.used_gpa + 2, (self._used_idx).to_bytes(2, "little"))]
+        )

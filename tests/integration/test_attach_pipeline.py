@@ -28,6 +28,30 @@ def test_report_describes_the_guest(attached):
     assert report.symbols_found >= 13
 
 
+def test_report_memory_fast_path_counters(attached):
+    """The attach report exposes what the copy fast path actually did."""
+    tb, hv, vmsh, session = attached
+    report = session.report
+    assert report.copy_path == "vectored"
+    gateway = report.accessor_stats["gateway"]
+    device = report.accessor_stats["device"]
+    # Binary analysis + library load all went through the gateway...
+    assert gateway["calls"] > 0
+    assert gateway["bytes_read"] > 0
+    assert gateway["bytes_written"] > 0
+    # ...and the device side batched scattered segments into fewer calls.
+    assert device["segments_coalesced"] > 0
+    assert device["calls"] < device["segments"]
+    # The software TLB both missed (first walks) and hit (reuse).
+    assert report.tlb_misses > 0
+    assert report.tlb_hits > 0
+    assert 0.0 < report.tlb_hit_rate < 1.0
+    # Live counters keep ticking past the attach-time snapshot.
+    live = session.memory_stats()
+    assert live["device"]["calls"] >= device["calls"]
+    assert live["tlb"]["hits"] >= report.tlb_hits
+
+
 def test_library_mapped_after_kernel_image(attached):
     """Fig. 3: the library lands right after the kernel in vaddr space."""
     tb, hv, vmsh, session = attached

@@ -86,3 +86,79 @@ def test_pagetable_translations_match_mappings(mappings):
 @given(vaddr=st.integers(min_value=0, max_value=(1 << 64) - 1))
 def test_canonicalisation_idempotent(vaddr):
     assert canonical(canonical(vaddr)) == canonical(vaddr)
+
+
+# -- gateway: virtual round-trips across page & memslot boundaries -------------
+
+from repro.core.gateway import GuestMemoryGateway      # noqa: E402
+from repro.host.ebpf import MemslotRecord              # noqa: E402
+from repro.host.kernel import HostKernel               # noqa: E402
+
+SLOT_PAGES = 64
+DATA_PAGES = SLOT_PAGES + SLOT_PAGES // 2       # the window spans both slots
+DATA_BYTES = DATA_PAGES * PAGE_SIZE
+
+
+def _gateway_env():
+    """Two gpa-contiguous (hva-disjoint) memslots behind a gateway, with
+    an identity-mapped kernel-space window covering both."""
+    host = HostKernel()
+    vmsh = host.spawn_process("vmsh")
+    hv = host.spawn_process("hypervisor")
+    size = SLOT_PAGES * PAGE_SIZE
+    records = []
+    for i in range(2):
+        hva = host.syscall(hv.main_thread, "mmap", size, f"guest-ram-{i}")
+        records.append(MemslotRecord(slot=i, gpa=i * size, size=size, hva=hva))
+    gateway = GuestMemoryGateway(host, vmsh.main_thread, hv.pid, records)
+    # Page tables live in the top pages of slot 1, clear of the data window.
+    alloc = itertools.count((2 * SLOT_PAGES - 24) * PAGE_SIZE, PAGE_SIZE)
+    builder = gateway.arch.builder(
+        gateway.phys.read_u64, gateway.phys.write_u64, lambda: next(alloc)
+    )
+    roots = []
+    for _ in range(2):      # second identical root models a CR3 reload
+        cr3 = builder.new_root()
+        for page in range(DATA_PAGES):
+            builder.map_page(
+                cr3, KERNEL_TEXT_BASE + page * PAGE_SIZE, page * PAGE_SIZE
+            )
+        roots.append(cr3)
+    gateway.set_cr3(roots[0])
+    return gateway, records, roots
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=DATA_BYTES - 256),
+            st.binary(min_size=1, max_size=256),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    reload_mode=st.sampled_from(["none", "cr3", "memslots"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_gateway_virt_roundtrip_survives_tlb_invalidation(ops, reload_mode):
+    """write_virt/read_virt round-trip through the software TLB and the
+    vectored copy path, across page and memslot boundaries, before and
+    after the TLB is flushed by a CR3 reload or a memslot refresh."""
+    gateway, records, roots = _gateway_env()
+    reference = bytearray(DATA_BYTES)
+    for offset, data in ops:
+        gateway.write_virt(KERNEL_TEXT_BASE + offset, data)
+        reference[offset : offset + len(data)] = data
+    if reload_mode == "cr3":
+        gateway.set_cr3(roots[1])
+    elif reload_mode == "memslots":
+        stats_before = gateway.phys.stats
+        gateway.refresh_memslots(records)
+        assert gateway.phys.stats is stats_before       # counters cumulative
+    if reload_mode != "none":
+        assert gateway._tlb == {}                       # flushed like real TLBs
+    for offset, data in ops:
+        start = max(0, offset - 8)
+        length = min(len(data) + 16, DATA_BYTES - start)
+        got = gateway.read_virt(KERNEL_TEXT_BASE + start, length)
+        assert got == bytes(reference[start : start + length])

@@ -17,6 +17,7 @@ from repro.guestos.vfs import MountNamespace, Vfs
 from repro.host.ebpf import MemslotSnooper
 from repro.sideload import parse_blob
 from repro.testbed import Testbed
+from repro.units import PAGE_SIZE
 
 
 # -- gateway ----------------------------------------------------------------
@@ -74,6 +75,42 @@ def test_gateway_charges_procvm_costs():
     before = tb.costs.count("procvm_copy")
     gateway.read_virt(hv.guest.image.vbase, 4096)
     assert tb.costs.count("procvm_copy") > before
+
+
+def test_gateway_tlb_caches_page_walks():
+    tb, hv, gateway = _gateway()
+    vbase = hv.guest.image.vbase
+    gateway.read_virt(vbase, 4 * PAGE_SIZE)
+    misses = gateway.tlb_misses
+    assert misses >= 4
+    assert gateway.tlb_hits == 0
+    before = tb.costs.count("procvm_copy")
+    gateway.read_virt(vbase, 4 * PAGE_SIZE)
+    assert gateway.tlb_misses == misses
+    assert gateway.tlb_hits >= 4
+    # With walks cached the re-read pays only the data copy, not four
+    # table reads per page.
+    assert tb.costs.count("procvm_copy") - before <= 2
+    assert 0.0 < gateway.tlb_hit_rate < 1.0
+    # Rewriting the same CR3 value must not flush.
+    gateway.set_cr3(gateway.cr3)
+    gateway.read_virt(vbase, PAGE_SIZE)
+    assert gateway.tlb_misses == misses
+
+
+def test_gateway_refresh_memslots_flushes_tlb_keeps_stats():
+    tb, hv, gateway = _gateway()
+    vbase = hv.guest.image.vbase
+    gateway.read_virt(vbase, PAGE_SIZE)
+    stats = gateway.phys.stats
+    reads_before = stats.reads
+    gateway.refresh_memslots(gateway.translator.slots())
+    assert gateway._tlb == {}
+    assert gateway.phys.stats is stats          # counters stay cumulative
+    assert stats.reads == reads_before
+    misses = gateway.tlb_misses
+    gateway.read_virt(vbase, PAGE_SIZE)         # still correct, re-walked
+    assert gateway.tlb_misses > misses
 
 
 # -- libbuild --------------------------------------------------------------------

@@ -46,6 +46,46 @@ def test_bytewise_copy_slower_than_procvm():
     assert b.clock.now > a.clock.now * 2
 
 
+def test_procvm_vectored_single_segment_matches_procvm_copy():
+    a = _model()
+    b = _model()
+    a.procvm_copy(4096)
+    b.procvm_vectored(4096, 1)
+    assert a.clock.now == b.clock.now
+    assert b.count("procvm_copy") == 1
+    assert b.count("procvm_sg_segments") == 0
+
+
+def test_procvm_vectored_charges_per_segment_surcharge():
+    a = _model()
+    b = _model()
+    a.procvm_copy(64 * 4096)
+    b.procvm_vectored(64 * 4096, 64)
+    assert b.clock.now == a.clock.now + 63 * b.p.procvm_seg_ns
+    assert b.count("procvm_copy") == 1
+    assert b.count("procvm_sg_segments") == 64
+
+
+def test_procvm_vectored_beats_per_page_calls():
+    """What sg-batching buys: 64 segments amortise one syscall entry."""
+    batched = _model()
+    per_page = _model()
+    batched.procvm_vectored(64 * 4096, 64)
+    for _ in range(64):
+        per_page.procvm_copy(4096)
+    assert batched.clock.now < per_page.clock.now
+    assert per_page.count("procvm_copy") == 64
+    assert batched.count("procvm_copy") == 1
+
+
+def test_bump_counts_without_advancing_clock():
+    model = _model()
+    model.bump("things")
+    model.bump("things", 2)
+    assert model.count("things") == 3
+    assert model.clock.now == 0
+
+
 def test_disk_io_includes_service_time_and_bandwidth():
     model = _model()
     model.disk_io(3_200_000)  # exactly 1 ms of bandwidth

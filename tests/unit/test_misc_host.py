@@ -39,6 +39,27 @@ def test_tracer_bounded_memory():
     assert len(tracer) <= 11
 
 
+def test_tracer_eviction_leaves_marker():
+    tracer = Tracer(max_events=10)
+    for i in range(12):
+        tracer.emit("x", f"e{i}")
+    assert tracer.dropped_events == 5
+    markers = tracer.find("tracer", "evicted")
+    assert len(markers) == 1
+    assert markers[0].detail == {"dropped": 5, "total_dropped": 5}
+    # The newest events survive the truncation.
+    assert tracer.events[-1].name == "e11"
+
+
+def test_tracer_eviction_total_accumulates():
+    tracer = Tracer(max_events=10)
+    for i in range(60):
+        tracer.emit("x", f"e{i}")
+    assert tracer.dropped_events > 5
+    last_marker = tracer.find("tracer", "evicted")[-1]
+    assert last_marker.detail["total_dropped"] == tracer.dropped_events
+
+
 def test_tracer_disable():
     tracer = Tracer()
     tracer.enabled = False
