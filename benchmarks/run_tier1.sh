@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 gate: byte-compile, full test suite, then the copy-path
-# ablations that guard the guest-memory fast path.  Run from anywhere.
+# Tier-1 gate: byte-compile, full test suite (chaos suite included, on
+# a pinned master seed so fault schedules are replayable), then the
+# copy-path ablations that guard the guest-memory fast path.  Run from
+# anywhere.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 python -m compileall -q src
+
+# Pin the chaos-suite seed ("VMSH"): identical fault schedules and
+# traces on every run.  Override to explore other schedules.
+export VMSH_CHAOS_SEED="${VMSH_CHAOS_SEED:-0x564D5348}"
 
 PYTHONPATH=src python -m pytest -x -q
 

@@ -1,0 +1,145 @@
+"""Transactional attach: pipeline steps with compensating actions.
+
+The paper's safety argument (§4, §6.2) is that a failed attach must
+leave the hypervisor and guest exactly as they were — VMSH mutates a
+*running* production VM, so "mostly cleaned up" is not a state.  This
+module provides the mechanism: an :class:`AttachTransaction` collects
+compensating actions (close this injected fd, delete that memslot,
+restore those vCPU registers...) on a LIFO undo stack as the pipeline
+makes each change.  On failure :meth:`rollback` unwinds the stack in
+reverse order; on success :meth:`commit` discards it and only the
+changes an attached session legitimately owns remain, each tracked by
+the session for detach.
+
+Undo actions run with fault injection suspended — the chaos plan that
+failed the attach must not also be able to fail the cleanup — and a
+failing undo action is recorded and skipped rather than masking the
+original error or aborting the remaining unwind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass
+class UndoEntry:
+    """One compensating action on the undo stack."""
+
+    label: str
+    action: Callable[[], None]
+    discharged: bool = False
+
+
+@dataclass
+class UndoFailure:
+    """Record of an undo action that itself raised during rollback."""
+
+    label: str
+    error: BaseException
+
+
+class AttachTransaction:
+    """Undo stack + step bookkeeping for one ``_attach_once`` run."""
+
+    def __init__(self, host: Any, tracer: Any = None, label: str = "attach"):
+        self.host = host
+        self.tracer = tracer if tracer is not None else host.tracer
+        self.label = label
+        self._undo: List[UndoEntry] = []
+        self.steps_completed: List[str] = []
+        self.current_step: Optional[str] = None
+        self.undo_failures: List[UndoFailure] = []
+        self.finished = False
+
+    # -- pipeline steps -------------------------------------------------------
+
+    def step(self, name: str, **detail: Any) -> None:
+        """Enter pipeline step ``name``.
+
+        Emits a ``txn/step`` trace event and gives the fault plan its
+        per-step injection site (``attach.<name>``) *before* any of the
+        step's work runs — fail-before semantics, so a fault here means
+        the step never started.
+        """
+        if self.current_step is not None:
+            self.steps_completed.append(self.current_step)
+        self.current_step = name
+        self.tracer.emit("txn", "step", txn=self.label, step=name, **detail)
+        self.host.faults.check(f"attach.{name}")
+
+    # -- the undo stack -------------------------------------------------------
+
+    def push(self, label: str, action: Callable[[], None]) -> UndoEntry:
+        """Register a compensating action for a change just made.
+
+        Returns the entry so the caller can :meth:`discharge` it if the
+        resource is later released through the normal path (e.g. an
+        injected fd that is closed again before the pipeline ends).
+        """
+        entry = UndoEntry(label=label, action=action)
+        self._undo.append(entry)
+        return entry
+
+    def discharge(self, entry: UndoEntry) -> None:
+        """Mark ``entry`` as no longer needed (resource already released)."""
+        entry.discharged = True
+
+    @property
+    def depth(self) -> int:
+        return sum(1 for e in self._undo if not e.discharged)
+
+    # -- outcomes -------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Attach succeeded: drop the undo stack, changes are now owned."""
+        if self.current_step is not None:
+            self.steps_completed.append(self.current_step)
+            self.current_step = None
+        self._undo.clear()
+        self.finished = True
+        self.tracer.emit(
+            "txn", "commit", txn=self.label, steps=len(self.steps_completed)
+        )
+
+    def rollback(self) -> None:
+        """Attach failed: unwind every live undo entry, newest first.
+
+        Runs under ``host.faults.suspended()`` so the armed chaos plan
+        cannot fail the compensating actions it provoked.  Undo errors
+        are collected in :attr:`undo_failures`; the unwind always visits
+        every entry and never raises.
+        """
+        failed_step = self.current_step
+        self.current_step = None
+        with self.host.faults.suspended():
+            while self._undo:
+                entry = self._undo.pop()
+                if entry.discharged:
+                    continue
+                try:
+                    entry.action()
+                    self.tracer.emit(
+                        "txn", "undo", txn=self.label, action=entry.label
+                    )
+                except Exception as err:  # noqa: BLE001 - must not mask cause
+                    self.undo_failures.append(
+                        UndoFailure(label=entry.label, error=err)
+                    )
+                    self.tracer.emit(
+                        "txn",
+                        "undo_failed",
+                        txn=self.label,
+                        action=entry.label,
+                        error=type(err).__name__,
+                    )
+        self.finished = True
+        self.tracer.emit(
+            "txn",
+            "rollback",
+            txn=self.label,
+            failed_step=failed_step,
+            undone=len(self.steps_completed),
+            undo_failures=len(self.undo_failures),
+        )

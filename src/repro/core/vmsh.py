@@ -22,6 +22,16 @@ never a hypervisor API:
 10. save registers, point RIP at the library, resume — the guest
     registers VMSH's devices and spawns the overlay;
 11. drop privileges.
+
+The pipeline runs as a *transaction* (:mod:`repro.core.txn`): every
+change to the hypervisor or guest pushes a compensating action onto an
+undo stack, and any failure unwinds the stack so that hypervisor and
+guest are bit-identical to their pre-attach state — injected fds
+closed, memslots deleted, guest page-table words restored, vCPU
+registers put back, interrupted threads resumed, capabilities
+re-granted.  :meth:`Vmsh.attach` can additionally retry the whole
+pipeline on *transient* injected faults with deterministic exponential
+backoff on the simulated clock.
 """
 
 from __future__ import annotations
@@ -49,11 +59,13 @@ from repro.core.libbuild import (
 # Importing these registers the guest-side program runtimes.
 from repro.core import kernel_lib as _kernel_lib  # noqa: F401
 from repro.core import stage2 as _stage2          # noqa: F401
+from repro.core.txn import AttachTransaction
 from repro.errors import (
     HypervisorNotSupportedError,
     KvmError,
     SideloadError,
     SymbolResolutionError,
+    TransientFaultError,
     VmshError,
 )
 from repro.guestos.kfunctions import REQUIRED_KERNEL_FUNCTIONS
@@ -75,6 +87,23 @@ from repro.virtio.memio import (
 )
 
 PT_RESERVE_PAGES = 64
+
+#: The attach pipeline's step names, in order.  Each is entered via
+#: :meth:`repro.core.txn.AttachTransaction.step` and doubles as the
+#: fault-injection site ``attach.<step>`` (chaos tests iterate this).
+ATTACH_STEPS = (
+    "discover",
+    "ptrace_attach",
+    "snoop_memslots",
+    "read_sregs",
+    "analyse",
+    "build_library",
+    "create_device_fds",
+    "load_library",
+    "install_dispatch",
+    "hijack",
+    "drop_privileges",
+)
 
 #: Guest-memory copy paths selectable at attach time.  "vectored" is
 #: the sg-batched fast path; "per_page" issues one process_vm_* call
@@ -147,6 +176,8 @@ class VmshSession:
         dispatch: MmioDispatch,
         ptrace_session: Optional[PtraceSession],
         gateway: Optional[GuestMemoryGateway] = None,
+        vmsh_fds: Optional[List[int]] = None,
+        dropped_caps: Optional[List[str]] = None,
     ):
         self.vmsh = vmsh
         self.report = report
@@ -155,6 +186,13 @@ class VmshSession:
         self.dispatch = dispatch
         self._ptrace = ptrace_session
         self.gateway = gateway
+        #: VMSH-side fds owned by this session (device eventfds and, in
+        #: ioregionfd mode, the ioregionfd socket) — closed on detach.
+        self._vmsh_fds = list(vmsh_fds or [])
+        #: capabilities the attach dropped (§4.5), scoped to this
+        #: session and re-granted on detach so the same Vmsh process
+        #: can attach again.
+        self._dropped_caps = list(dropped_caps or [])
         self.detached = False
 
     def memory_stats(self) -> Dict[str, Dict[str, int]]:
@@ -189,19 +227,35 @@ class VmshSession:
         return self.device_host.exec_device.submit(list(argv))
 
     def detach(self) -> None:
-        """Release the hypervisor.
+        """Release the hypervisor and this session's resources.
 
-        In ioregionfd mode the devices keep working afterwards (KVM
-        routes the exits); in wrap_syscall mode detaching removes the
-        dispatch and the overlay loses its devices.
+        Uninstalls the dispatch (wrap_syscall mode also detaches
+        ptrace), closes the session's device eventfds and — in
+        ioregionfd mode — the ioregionfd socket, and re-grants the
+        capabilities the attach dropped so a follow-up
+        :meth:`Vmsh.attach` works.  Idempotent in both modes: a second
+        call is a no-op.
         """
         if self.detached:
             return
+        self.detached = True
         if isinstance(self.dispatch, WrapSyscallDispatch):
             self.dispatch.uninstall()
         if self._ptrace is not None and self._ptrace.attached:
             self._ptrace.detach()
-        self.detached = True
+        # Close the session-owned fds; KVM-side registrations hold
+        # their own references, so e.g. closing the ioregionfd socket
+        # here severs VMSH's endpoint without corrupting the VM.
+        for fd in self._vmsh_fds:
+            if fd in self.vmsh.process.fds:
+                self.vmsh.process.fds.close(fd)
+        self._vmsh_fds.clear()
+        for cap in self._dropped_caps:
+            self.vmsh.process.grant_capability(cap)
+        self._dropped_caps.clear()
+        self.vmsh.host.tracer.emit(
+            "vmsh", "detached", pid=self.report.hypervisor_pid
+        )
 
 
 class Vmsh:
@@ -233,6 +287,9 @@ class Vmsh:
         transport: str = "mmio",
         exec_device: bool = False,
         seccomp_aware: bool = False,
+        retries: int = 0,
+        deadline_ns: Optional[int] = None,
+        retry_backoff_ns: int = 100_000,
     ) -> VmshSession:
         """Attach to the VM of ``hypervisor_pid`` and spawn the overlay.
 
@@ -249,6 +306,14 @@ class Vmsh:
         :data:`COPY_PATHS`); ``unoptimised_copy=True`` is a shorthand
         for the pre-§5 ``"staged"`` path (kept for the ablation
         benchmark).
+
+        ``retries``: how many times to re-run the pipeline after a
+        *transient* fault (each failed attempt is fully rolled back
+        first).  Retry N sleeps ``retry_backoff_ns << N`` on the
+        simulated clock — deterministic exponential backoff.
+        ``deadline_ns`` caps the total attach budget, backoff included;
+        once exceeded the last transient error is re-raised.  Permanent
+        faults and real errors never retry.
         """
         if transport not in ("auto", "mmio", "pci"):
             raise VmshError(f"unknown virtio transport {transport!r}")
@@ -256,6 +321,43 @@ class Vmsh:
             copy_path = "staged"
         if copy_path not in COPY_PATHS:
             raise VmshError(f"unknown copy path {copy_path!r}")
+        if retries < 0:
+            raise VmshError("retries must be >= 0")
+        start_ns = self.host.clock.now
+        attempt = 0
+        while True:
+            try:
+                return self._attach_transport(
+                    hypervisor_pid, mmio_mode, command, container_pid,
+                    image, copy_path, transport, exec_device, seccomp_aware,
+                )
+            except TransientFaultError as err:
+                if attempt >= retries:
+                    raise
+                backoff = retry_backoff_ns << attempt
+                elapsed = self.host.clock.now - start_ns
+                if deadline_ns is not None and elapsed + backoff > deadline_ns:
+                    raise
+                self.host.tracer.emit(
+                    "vmsh", "attach_retry", attempt=attempt + 1,
+                    site=err.site, backoff_ns=backoff,
+                )
+                self.host.clock.advance(backoff)
+                attempt += 1
+
+    def _attach_transport(
+        self,
+        hypervisor_pid: int,
+        mmio_mode: str,
+        command: str,
+        container_pid: int,
+        image: Optional[bytes],
+        copy_path: str,
+        transport: str,
+        exec_device: bool,
+        seccomp_aware: bool,
+    ) -> VmshSession:
+        """One attach attempt, resolving ``transport="auto"``."""
         if transport == "auto":
             try:
                 return self._attach_once(
@@ -264,7 +366,8 @@ class Vmsh:
                     seccomp_aware,
                 )
             except HypervisorNotSupportedError:
-                # MSI-X-only irqchip: retry over PCI (§6.2 future work).
+                # MSI-X-only irqchip: the failed mmio attempt has been
+                # rolled back, retry over PCI (§6.2 future work).
                 return self._attach_once(
                     hypervisor_pid, mmio_mode, command, container_pid,
                     image, copy_path, "pci", exec_device,
@@ -287,113 +390,163 @@ class Vmsh:
         exec_device: bool = False,
         seccomp_aware: bool = False,
     ) -> VmshSession:
+        """Run the pipeline under an :class:`AttachTransaction`.
+
+        Any failure — injected fault, unsupported hypervisor, analysis
+        error — rolls back every change made so far, leaving hypervisor
+        and guest bit-identical to their pre-attach state, then
+        re-raises the original error.
+        """
         if mmio_mode not in ("auto", "ioregionfd", "wrap_syscall"):
             raise VmshError(f"unknown mmio mode {mmio_mode!r}")
+        txn = AttachTransaction(self.host, label=f"attach:{hypervisor_pid}")
+        try:
+            return self._run_pipeline(
+                txn, hypervisor_pid, mmio_mode, command, container_pid,
+                image, copy_path, transport, exec_device, seccomp_aware,
+            )
+        except BaseException:
+            txn.rollback()
+            raise
+
+    def _run_pipeline(
+        self,
+        txn: AttachTransaction,
+        hypervisor_pid: int,
+        mmio_mode: str,
+        command: str,
+        container_pid: int,
+        image: Optional[bytes],
+        copy_path: str,
+        transport: str,
+        exec_device: bool,
+        seccomp_aware: bool,
+    ) -> VmshSession:
         start_ns = self.host.clock.now
         hv = self.host.process(hypervisor_pid)
 
         # 1. /proc discovery of KVM fds.
+        txn.step("discover")
         vm_fd, vcpu_fds = self._discover_kvm_fds(hypervisor_pid)
 
         # 2. ptrace attach + interrupt.
+        txn.step("ptrace_attach")
         session = ptrace_attach(self.host, self.process, hv)
+        txn.push(
+            "ptrace detach (resumes interrupted threads)",
+            lambda: session.detach() if session.attached else None,
+        )
         session.seccomp_aware = seccomp_aware
-        try:
-            inject_thread = hv.main_thread
-            session.interrupt(inject_thread)
+        inject_thread = hv.main_thread
+        session.interrupt(inject_thread)
 
-            # 3. eBPF memslot snooping, triggered by an injected ioctl.
-            ioregionfd_supported, records = self._snoop_memslots(
-                session, inject_thread, vm_fd
-            )
+        # 3. eBPF memslot snooping, triggered by an injected ioctl.
+        txn.step("snoop_memslots")
+        ioregionfd_supported, records = self._snoop_memslots(
+            session, inject_thread, vm_fd
+        )
 
-            # 4. CR3 from vCPU 0.
-            sregs = session.inject_syscall(
-                inject_thread, "ioctl", vcpu_fds[0], "KVM_GET_SREGS"
-            )
-            arch = self.host.arch
-            gateway = GuestMemoryGateway(
-                self.host, self._thread, hypervisor_pid, records, arch=arch
-            )
-            gateway.set_cr3(sregs[arch.pt_root_sreg])
+        # 4. CR3 from vCPU 0.
+        txn.step("read_sregs")
+        sregs = session.inject_syscall(
+            inject_thread, "ioctl", vcpu_fds[0], "KVM_GET_SREGS"
+        )
+        arch = self.host.arch
+        gateway = GuestMemoryGateway(
+            self.host, self._thread, hypervisor_pid, records, arch=arch
+        )
+        gateway.set_cr3(sregs[arch.pt_root_sreg])
 
-            # 5./6./7. Binary analysis.
-            location = find_kernel(gateway)
-            ksymtab = parse_ksymtab(gateway, location)
-            version = self._detect_version(gateway, ksymtab)
-            missing = [
-                name for name in REQUIRED_KERNEL_FUNCTIONS
-                if name not in ksymtab.symbols
-            ]
-            if missing:
-                raise SymbolResolutionError(missing[0])
+        # 5./6./7. Binary analysis (reads only, nothing to undo).
+        txn.step("analyse")
+        location = find_kernel(gateway)
+        ksymtab = parse_ksymtab(gateway, location)
+        version = self._detect_version(gateway, ksymtab)
+        missing = [
+            name for name in REQUIRED_KERNEL_FUNCTIONS
+            if name not in ksymtab.symbols
+        ]
+        if missing:
+            raise SymbolResolutionError(missing[0])
 
-            plan = plan_library(
-                version, command=command, container_pid=container_pid,
-                transport=transport, exec_device=exec_device,
-            )
-            blob = build_library(plan)
+        txn.step("build_library")
+        plan = plan_library(
+            version, command=command, container_pid=container_pid,
+            transport=transport, exec_device=exec_device,
+        )
+        blob = build_library(plan)
 
-            # 8. Device fds inside the hypervisor.
-            mode = self._choose_mode(mmio_mode, ioregionfd_supported)
-            console_efd, blk_efd, exec_efd, ioregion_socket = (
-                self._create_device_fds(session, inject_thread, vm_fd, plan, mode)
-            )
+        # 8. Device fds inside the hypervisor.
+        txn.step("create_device_fds")
+        mode = self._choose_mode(mmio_mode, ioregionfd_supported)
+        console_efd, blk_efd, exec_efd, ioregion_socket, session_fds = (
+            self._create_device_fds(txn, session, inject_thread, vm_fd, plan, mode)
+        )
 
-            # 9. Library placement.
-            blob_gpa, lib_vaddr, gateway = self._load_library(
-                session, inject_thread, vm_fd, gateway, location, ksymtab, blob,
-                records,
-            )
+        # 9. Library placement.
+        txn.step("load_library")
+        blob_gpa, lib_vaddr, gateway = self._load_library(
+            txn, session, inject_thread, vm_fd, gateway, location, ksymtab,
+            blob, records,
+        )
 
-            # Devices + dispatch.
-            image_bytes = image if image is not None else self.image
-            accessor_cls = COPY_PATHS[copy_path]
-            accessor = accessor_cls(
-                self.host, self._thread, hypervisor_pid, gateway.translator
+        # Devices + dispatch.
+        txn.step("install_dispatch")
+        image_bytes = image if image is not None else self.image
+        accessor_cls = COPY_PATHS[copy_path]
+        accessor = accessor_cls(
+            self.host, self._thread, hypervisor_pid, gateway.translator
+        )
+        device_host = VmshDeviceHost(
+            costs=self.host.costs,
+            accessor=accessor,
+            plan=plan,
+            image_bytes=image_bytes,
+            console_irq=self._irq_signaller(console_efd),
+            blk_irq=self._irq_signaller(blk_efd),
+            exec_irq=(
+                self._irq_signaller(exec_efd) if exec_efd is not None else None
+            ),
+        )
+        dispatch: MmioDispatch
+        if mode == "ioregionfd":
+            assert ioregion_socket is not None
+            dispatch = IoregionfdDispatch(device_host, ioregion_socket)
+        else:
+            vcpus_by_tid = self._map_vcpu_threads(hv, vcpu_fds)
+            dispatch = WrapSyscallDispatch(
+                self.host, session, device_host, vcpus_by_tid
             )
-            device_host = VmshDeviceHost(
-                costs=self.host.costs,
-                accessor=accessor,
-                plan=plan,
-                image_bytes=image_bytes,
-                console_irq=self._irq_signaller(console_efd),
-                blk_irq=self._irq_signaller(blk_efd),
-                exec_irq=(
-                    self._irq_signaller(exec_efd) if exec_efd is not None else None
-                ),
-            )
-            dispatch: MmioDispatch
-            if mode == "ioregionfd":
-                assert ioregion_socket is not None
-                dispatch = IoregionfdDispatch(device_host, ioregion_socket)
-            else:
-                vcpus_by_tid = self._map_vcpu_threads(hv, vcpu_fds)
-                dispatch = WrapSyscallDispatch(
-                    self.host, session, device_host, vcpus_by_tid
+        dispatch.install()
+        txn.push("uninstall MMIO dispatch", dispatch.uninstall)
+
+        # 10. Trampoline: save registers, divert RIP, resume.
+        txn.step("hijack")
+        self._hijack_and_run(
+            txn, session, inject_thread, hv, vcpu_fds[0], blob, blob_gpa,
+            lib_vaddr, gateway,
+        )
+
+        # 11. Privilege drop (§4.5), scoped to the session: detach (or
+        # rollback) re-grants exactly what was held before.
+        txn.step("drop_privileges")
+        dropped_caps: List[str] = []
+        for cap in ("CAP_BPF", "CAP_SYS_ADMIN"):
+            if self.process.has_capability(cap):
+                self.process.drop_capability(cap)
+                dropped_caps.append(cap)
+                txn.push(
+                    f"re-grant {cap}",
+                    lambda cap=cap: self.process.grant_capability(cap),
                 )
-            dispatch.install()
 
-            # 10. Trampoline: save registers, divert RIP, resume.
-            self._hijack_and_run(
-                session, inject_thread, hv, vcpu_fds[0], blob, blob_gpa,
-                lib_vaddr, gateway,
-            )
+        if mode == "ioregionfd":
+            session.detach()
+            ptrace_ref = None
+        else:
+            ptrace_ref = session
 
-            # 11. Privilege drop (§4.5).
-            self.process.drop_capability("CAP_BPF")
-            self.process.drop_capability("CAP_SYS_ADMIN")
-
-            if mode == "ioregionfd":
-                session.detach()
-                ptrace_ref = None
-            else:
-                ptrace_ref = session
-        except Exception:
-            if session.attached:
-                session.detach()
-            raise
-
+        txn.commit()
         report = AttachReport(
             hypervisor_pid=hypervisor_pid,
             kernel_version=version,
@@ -424,6 +577,8 @@ class Vmsh:
             dispatch=dispatch,
             ptrace_session=ptrace_ref,
             gateway=gateway,
+            vmsh_fds=session_fds,
+            dropped_caps=dropped_caps,
         )
 
     # ------------------------------------------------------------------
@@ -481,71 +636,111 @@ class Vmsh:
 
     def _create_device_fds(
         self,
+        txn: AttachTransaction,
         session: PtraceSession,
         thread: Thread,
         vm_fd: int,
         plan: LibraryPlan,
         mode: str,
-    ) -> Tuple[int, int, Optional[int], Optional[SocketPair]]:
+    ) -> Tuple[int, int, Optional[int], Optional[SocketPair], List[int]]:
         """Create irqfds (and the ioregionfd socket) in the hypervisor
         and pass them back over an injected UNIX socket.
 
-        Returns ``(console_efd, blk_efd, exec_efd, ioregion_socket)``;
-        ``exec_efd`` is ``None`` unless the plan includes the vm-exec
-        device, ``ioregion_socket`` is ``None`` outside ioregionfd mode.
+        Returns ``(console_efd, blk_efd, exec_efd, ioregion_socket,
+        session_fds)``; ``exec_efd`` is ``None`` unless the plan
+        includes the vm-exec device, ``ioregion_socket`` is ``None``
+        outside ioregionfd mode, ``session_fds`` are all VMSH-side fds
+        the session owns (for detach).
+
+        Every injected fd and every KVM registration pushes a
+        compensating action onto ``txn``.  Before returning, the
+        hypervisor-side fds are closed again (KVM's own references keep
+        the eventfds and the ioregion socket alive), so a completed
+        attach leaves the hypervisor's fd table exactly as found.
         """
         hv = session.tracee
+        hv_fds: List[int] = []
+        hv_fd_entries = {}
+
+        def track_hv_fd(fd: int) -> None:
+            hv_fds.append(fd)
+            hv_fd_entries[fd] = txn.push(
+                f"close injected hypervisor fd {fd}",
+                lambda fd=fd: session.inject_syscall(thread, "close", fd),
+            )
+
         console_efd_hv = session.inject_syscall(thread, "eventfd2")
+        track_hv_fd(console_efd_hv)
         blk_efd_hv = session.inject_syscall(thread, "eventfd2")
+        track_hv_fd(blk_efd_hv)
         exec_efd_hv = None
         if plan.exec_device:
             exec_efd_hv = session.inject_syscall(thread, "eventfd2")
+            track_hv_fd(exec_efd_hv)
         if plan.transport == "pci":
             # MSI-routed irqfds: no GSI pins needed (the extension).
-            session.inject_syscall(
-                thread, "ioctl", vm_fd, "KVM_IRQFD_MSI",
-                {"msi_message": plan.console_msi, "eventfd": console_efd_hv},
-            )
-            session.inject_syscall(
-                thread, "ioctl", vm_fd, "KVM_IRQFD_MSI",
-                {"msi_message": plan.blk_msi, "eventfd": blk_efd_hv},
-            )
+            msi_routes = [
+                (console_efd_hv, plan.console_msi),
+                (blk_efd_hv, plan.blk_msi),
+            ]
             if exec_efd_hv is not None:
+                msi_routes.append((exec_efd_hv, plan.exec_msi))
+            for efd_hv, msi in msi_routes:
                 session.inject_syscall(
                     thread, "ioctl", vm_fd, "KVM_IRQFD_MSI",
-                    {"msi_message": plan.exec_msi, "eventfd": exec_efd_hv},
+                    {"msi_message": msi, "eventfd": efd_hv},
+                )
+                txn.push(
+                    f"deassign MSI irqfd (message {msi})",
+                    lambda msi=msi: session.inject_syscall(
+                        thread, "ioctl", vm_fd, "KVM_IRQFD_MSI",
+                        {"msi_message": msi, "deassign": True},
+                    ),
                 )
         else:
             # Pin-based irqfds — this is where Cloud Hypervisor's
             # MSI-X-only model fails (Table 1).
-            try:
-                session.inject_syscall(
-                    thread, "ioctl", vm_fd, "KVM_IRQFD",
-                    {"gsi": plan.console_gsi, "eventfd": console_efd_hv},
-                )
-                session.inject_syscall(
-                    thread, "ioctl", vm_fd, "KVM_IRQFD",
-                    {"gsi": plan.blk_gsi, "eventfd": blk_efd_hv},
-                )
-            except KvmError as exc:
-                raise HypervisorNotSupportedError(
-                    f"cannot route VMSH interrupts on this hypervisor: {exc}"
-                ) from exc
+            gsi_routes = [
+                (console_efd_hv, plan.console_gsi),
+                (blk_efd_hv, plan.blk_gsi),
+            ]
             if exec_efd_hv is not None:
-                session.inject_syscall(
-                    thread, "ioctl", vm_fd, "KVM_IRQFD",
-                    {"gsi": plan.exec_gsi, "eventfd": exec_efd_hv},
+                gsi_routes.append((exec_efd_hv, plan.exec_gsi))
+            for efd_hv, gsi in gsi_routes:
+                try:
+                    session.inject_syscall(
+                        thread, "ioctl", vm_fd, "KVM_IRQFD",
+                        {"gsi": gsi, "eventfd": efd_hv},
+                    )
+                except KvmError as exc:
+                    raise HypervisorNotSupportedError(
+                        f"cannot route VMSH interrupts on this hypervisor: {exc}"
+                    ) from exc
+                txn.push(
+                    f"deassign irqfd (GSI {gsi})",
+                    lambda gsi=gsi: session.inject_syscall(
+                        thread, "ioctl", vm_fd, "KVM_IRQFD",
+                        {"gsi": gsi, "deassign": True},
+                    ),
                 )
 
         # Injected UNIX socket for fd passing (§5): one end stays in
         # the hypervisor, VMSH connects to the other.
         sock_a, sock_b = session.inject_syscall(thread, "socketpair")
+        track_hv_fd(sock_a)
+        track_hv_fd(sock_b)
         vmsh_sock_fd = self.process.fds.install(hv.fds.get(sock_b))
+        vmsh_sock_entry = txn.push(
+            "close VMSH handshake socket",
+            lambda: self.host.syscall(self._thread, "close", vmsh_sock_fd),
+        )
 
         ioregion_socket: Optional[SocketPair] = None
         attached = [console_efd_hv, blk_efd_hv]
         if mode == "ioregionfd":
             io_a, io_b = session.inject_syscall(thread, "socketpair")
+            track_hv_fd(io_a)
+            track_hv_fd(io_b)
             window_count = 3 if plan.exec_device else 2
             session.inject_syscall(
                 thread, "ioctl", vm_fd, "KVM_SET_IOREGION",
@@ -555,17 +750,40 @@ class Vmsh:
                     "socket": io_a,
                 },
             )
+            txn.push(
+                "remove ioregion (MMIO window)",
+                lambda: session.inject_syscall(
+                    thread, "ioctl", vm_fd, "KVM_SET_IOREGION",
+                    {
+                        "gpa": plan.console_mmio,
+                        "size": window_count * 0x1000,
+                        "remove": True,
+                    },
+                ),
+            )
             if plan.transport == "pci":
                 # The ECAM config pages of VMSH's device slots.
                 from repro.virtio.pci import slot_address
 
+                ecam_gpa = slot_address(plan.console_slot)
                 session.inject_syscall(
                     thread, "ioctl", vm_fd, "KVM_SET_IOREGION",
                     {
-                        "gpa": slot_address(plan.console_slot),
+                        "gpa": ecam_gpa,
                         "size": window_count * 0x1000,
                         "socket": io_a,
                     },
+                )
+                txn.push(
+                    "remove ioregion (ECAM window)",
+                    lambda: session.inject_syscall(
+                        thread, "ioctl", vm_fd, "KVM_SET_IOREGION",
+                        {
+                            "gpa": ecam_gpa,
+                            "size": window_count * 0x1000,
+                            "remove": True,
+                        },
+                    ),
                 )
             attached.append(io_b)
 
@@ -575,6 +793,11 @@ class Vmsh:
         payload, fds = self.host.syscall(self._thread, "recvmsg", vmsh_sock_fd)
         if payload != "vmsh-fds":
             raise SideloadError("fd-passing handshake failed")
+        for fd in fds:
+            txn.push(
+                f"close VMSH device fd {fd}",
+                lambda fd=fd: self.host.syscall(self._thread, "close", fd),
+            )
         console_efd, blk_efd = fds[0], fds[1]
         exec_efd = None
         cursor = 2
@@ -585,7 +808,17 @@ class Vmsh:
             socket_obj = self.process.fds.get(fds[cursor])
             assert isinstance(socket_obj, SocketPair)
             ioregion_socket = socket_obj
-        return console_efd, blk_efd, exec_efd, ioregion_socket
+
+        # Housekeeping: KVM (and VMSH's fd table) hold their own
+        # references now, so close the injected hypervisor-side fds —
+        # the hypervisor's fd table ends bit-identical to pre-attach —
+        # and discharge their undo entries.
+        for fd in hv_fds:
+            session.inject_syscall(thread, "close", fd)
+            txn.discharge(hv_fd_entries[fd])
+        self.host.syscall(self._thread, "close", vmsh_sock_fd)
+        txn.discharge(vmsh_sock_entry)
+        return console_efd, blk_efd, exec_efd, ioregion_socket, fds
 
     def _irq_signaller(self, eventfd_fd: int):
         host, thread = self.host, self._thread
@@ -597,6 +830,7 @@ class Vmsh:
 
     def _load_library(
         self,
+        txn: AttachTransaction,
         session: PtraceSession,
         thread: Thread,
         vm_fd: int,
@@ -613,10 +847,21 @@ class Vmsh:
         blob_gpa = max(top_gpa, 0x1_0000_0000)  # clear of the MMIO window
 
         hva = session.inject_syscall(thread, "mmap", region_size, "vmsh-lib")
+        txn.push(
+            "munmap library region",
+            lambda: session.inject_syscall(thread, "munmap", hva),
+        )
         free_slot = max(r.slot for r in records) + 1
         session.inject_syscall(
             thread, "ioctl", vm_fd, "KVM_SET_USER_MEMORY_REGION",
             {"slot": free_slot, "gpa": blob_gpa, "size": region_size, "hva": hva},
+        )
+        txn.push(
+            f"delete library memslot {free_slot}",
+            lambda: session.inject_syscall(
+                thread, "ioctl", vm_fd, "KVM_SET_USER_MEMORY_REGION",
+                {"slot": free_slot, "gpa": blob_gpa, "size": 0, "hva": 0},
+            ),
         )
         new_records = list(records) + [
             MemslotRecord(slot=free_slot, gpa=blob_gpa, size=region_size, hva=hva)
@@ -631,6 +876,12 @@ class Vmsh:
             gateway.phys.write(blob_gpa + slot_off, struct.pack("<Q", vaddr))
 
         # Map the library right after the kernel image (§4.2, Fig. 3).
+        # map_range mutates *pre-existing* guest page-table pages (the
+        # PML4 under CR3 lives in original guest RAM), so every word
+        # written is journaled and, on rollback, replayed in reverse —
+        # bit-identical restoration of the guest's page tables.  The
+        # journal undo is pushed after the memslot-delete undo so LIFO
+        # rollback restores the words while the slot still resolves.
         lib_vaddr = page_align_up(location.vend)
         pt_alloc_cursor = [blob_gpa + page_align_up(len(blob))]
 
@@ -641,8 +892,20 @@ class Vmsh:
                 raise SideloadError("page-table reserve exhausted")
             return gpa
 
+        phys = gateway.phys
+        pt_journal: List[Tuple[int, int]] = []
+
+        def journaled_write_u64(addr: int, value: int) -> None:
+            pt_journal.append((addr, phys.read_u64(addr)))
+            phys.write_u64(addr, value)
+
+        def restore_page_tables() -> None:
+            for addr, old in reversed(pt_journal):
+                phys.write_u64(addr, old)
+
+        txn.push("restore guest page-table words", restore_page_tables)
         builder = gateway.arch.builder(
-            gateway.phys.read_u64, gateway.phys.write_u64, alloc_pt_page
+            phys.read_u64, journaled_write_u64, alloc_pt_page
         )
         builder.map_range(gateway.cr3, lib_vaddr, blob_gpa, page_align_up(len(blob)))
         return blob_gpa, lib_vaddr, gateway
@@ -660,6 +923,7 @@ class Vmsh:
 
     def _hijack_and_run(
         self,
+        txn: AttachTransaction,
         session: PtraceSession,
         thread: Thread,
         hv: Process,
@@ -683,6 +947,12 @@ class Vmsh:
         new_regs = dict(orig_regs)
         new_regs[arch.ip_register] = lib_vaddr + parsed.entry_offset
         session.inject_syscall(thread, "ioctl", vcpu_fd, "KVM_SET_REGS", new_regs)
+        txn.push(
+            "restore saved vCPU registers",
+            lambda: session.inject_syscall(
+                thread, "ioctl", vcpu_fd, "KVM_SET_REGS", dict(orig_regs)
+            ),
+        )
         session.resume(thread)
 
         # The hypervisor re-enters KVM_RUN; the guest executes the

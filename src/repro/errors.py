@@ -54,6 +54,33 @@ class PtraceError(HostError):
 
 
 # --------------------------------------------------------------------------
+# Fault injection (chaos substrate)
+# --------------------------------------------------------------------------
+
+class FaultInjectedError(ReproError):
+    """An artificially injected fault from a :class:`repro.sim.faults.FaultPlan`.
+
+    Carries where and how it fired so retry policies and chaos tests
+    can reason about it.
+    """
+
+    def __init__(self, site: str, kind: str, occurrence: int, message: str = ""):
+        detail = message or f"injected {kind} fault at {site} (hit {occurrence})"
+        super().__init__(detail)
+        self.site = site
+        self.kind = kind
+        self.occurrence = occurrence
+
+
+class TransientFaultError(FaultInjectedError):
+    """A fault that heals on its own: retrying the operation may succeed."""
+
+
+class PermanentFaultError(FaultInjectedError):
+    """A fault that persists: every retry of the operation fails again."""
+
+
+# --------------------------------------------------------------------------
 # KVM layer
 # --------------------------------------------------------------------------
 

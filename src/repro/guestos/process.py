@@ -56,7 +56,12 @@ class GuestProcess:
     """One process inside the guest."""
 
     # Auto-assigned pids start at 2: pid 1 is reserved for init, which
-    # every kernel creates with an explicit pid.
+    # every kernel creates with an explicit pid.  This class-level
+    # namespace is only a fallback for processes never entered into a
+    # GuestProcessTable (benchmark stubs); table-owned processes are
+    # renumbered from the table's own counter on add() so that two
+    # identically-built guests assign identical pids — a prerequisite
+    # for replay-identical traces.
     _pid_counter = itertools.count(2)
 
     def __init__(
@@ -73,6 +78,7 @@ class GuestProcess:
         kind: str = "user",
         pid: Optional[int] = None,
     ):
+        self._auto_pid = pid is None
         self.pid = pid if pid is not None else next(GuestProcess._pid_counter)
         self.name = name
         self.mount_ns = mount_ns
@@ -136,8 +142,13 @@ class GuestProcessTable:
 
     def __init__(self) -> None:
         self._processes: Dict[int, GuestProcess] = {}
+        # Per-table pid namespace (pid 1 is init, added explicitly).
+        self._pid_counter = itertools.count(2)
 
     def add(self, process: GuestProcess) -> GuestProcess:
+        if process._auto_pid:
+            process.pid = next(self._pid_counter)
+            process._auto_pid = False
         self._processes[process.pid] = process
         return process
 

@@ -9,6 +9,8 @@ memslot snooper attached to ``kvm_vm_ioctl`` (§5).
 
 from __future__ import annotations
 
+import itertools
+
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (
@@ -19,6 +21,7 @@ from repro.errors import (
 from repro.host.process import EventFd, FileObject, Process, SocketPair, Thread
 from repro.sim.clock import Clock
 from repro.sim.costs import CostModel
+from repro.sim.faults import FaultInjector
 from repro.sim.trace import NullTracer, Tracer
 
 
@@ -36,9 +39,16 @@ class HostKernel:
         self.clock = clock if clock is not None else Clock()
         self.costs = costs if costs is not None else CostModel(self.clock)
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: fault-injection runtime (inert until a FaultPlan is armed)
+        self.faults = FaultInjector(self.tracer)
         #: host CPU architecture (VMSH is built per-arch, §5)
         self.arch = X86_64
         self.processes: Dict[int, Process] = {}
+        # Per-host pid/tid namespaces: two hosts built the same way
+        # assign identical ids, which keeps traces replayable across
+        # runs (the chaos determinism requirement).
+        self.pid_counter = itertools.count(1000)
+        self.tid_counter = itertools.count(100_000)
         # eBPF programs by kernel attach point, e.g. "kvm_vm_ioctl".
         self._ebpf_programs: Dict[str, List[Callable[..., None]]] = {}
         # Per-thread syscall trace hooks installed via ptrace
@@ -114,6 +124,11 @@ class HostKernel:
         """
         if thread.seccomp_filter is not None:
             thread.seccomp_filter.check(name, thread.name)
+        self.faults.check(f"syscall.{name}", tid=thread.tid, injected=injected)
+        if injected:
+            # The Firecracker quirk (§6.2): a strict per-thread filter
+            # that kills exactly the syscalls VMSH injects.
+            self.faults.check("seccomp.injected", syscall=name, thread=thread.name)
         hook = self._syscall_hooks.get(thread.tid)
         if hook is not None:
             self.costs.ptrace_stop()
@@ -143,11 +158,16 @@ class HostKernel:
         return 0
 
     def _sys_ioctl(self, thread: Thread, fd: int, request: str, arg: Any = None) -> Any:
+        self.faults.check(f"ioctl.{request}", fd=fd)
         obj = thread.process.fds.get(fd)
         ioctl = getattr(obj, "ioctl", None)
         if ioctl is None:
             raise HostError(f"fd {fd} ({obj.proc_link}) does not support ioctl")
         return ioctl(request, arg, thread)
+
+    def _sys_close(self, thread: Thread, fd: int) -> int:
+        thread.process.fds.close(fd)
+        return 0
 
     def _sys_process_vm_readv(
         self, thread: Thread, pid: int, remote_addr, length: Optional[int] = None

@@ -25,10 +25,29 @@ from repro.units import PAGE_SIZE, page_align_up
 # ---------------------------------------------------------------------------
 
 class FileObject:
-    """Base class for anything an fd can point at."""
+    """Base class for anything an fd can point at.
+
+    Objects are reference counted the way struct-file is: every fd
+    table entry and every kernel-internal holder (an irqfd route, an
+    ioregionfd registration) takes a reference, and :meth:`close` only
+    runs when the last reference drops — which is what lets VMSH close
+    the eventfds it injected into the hypervisor while KVM keeps the
+    irqfd alive.
+    """
 
     #: the string shown by ``readlink /proc/<pid>/fd/<n>``
     proc_link: str = "anon_inode:[unknown]"
+    #: class default; incref shadows it with an instance attribute so
+    #: subclasses need no __init__ cooperation
+    _refs: int = 0
+
+    def incref(self) -> None:
+        self._refs = self._refs + 1
+
+    def decref(self) -> None:
+        self._refs = self._refs - 1
+        if self._refs <= 0:
+            self.close()
 
     def close(self) -> None:
         """Release resources; default is a no-op."""
@@ -54,6 +73,11 @@ class EventFd(FileObject):
 
     def on_signal(self, cb: Callable[[], None]) -> None:
         self._callbacks.append(cb)
+
+    def remove_signal(self, cb: Callable[[], None]) -> None:
+        """Detach a wakeup callback (irqfd deassign)."""
+        if cb in self._callbacks:
+            self._callbacks.remove(cb)
 
 
 class SocketPair(FileObject):
@@ -87,6 +111,13 @@ class SocketPair(FileObject):
     def on_message(self, cb: Callable[[Any], None]) -> None:
         self._on_message = cb
 
+    def close(self) -> None:
+        """Last reference dropped: sever the pair (peer sees hangup)."""
+        if self.peer is not None:
+            self.peer.peer = None
+            self.peer = None
+        self._on_message = None
+
 
 class FdTable:
     """Per-process file-descriptor table."""
@@ -99,6 +130,7 @@ class FdTable:
         fd = self._next
         self._next += 1
         self._fds[fd] = obj
+        obj.incref()
         return fd
 
     def get(self, fd: int) -> FileObject:
@@ -109,8 +141,8 @@ class FdTable:
 
     def close(self, fd: int) -> None:
         obj = self.get(fd)
-        obj.close()
         del self._fds[fd]
+        obj.decref()
 
     def items(self) -> Iterator[Tuple[int, FileObject]]:
         return iter(sorted(self._fds.items()))
@@ -222,13 +254,18 @@ class Thread:
 class Process:
     """A simulated host process."""
 
+    # Fallback namespaces for processes built without a host kernel
+    # (unit tests); a HostKernel carries its own counters so that two
+    # identically-built hosts assign identical pids/tids — a
+    # prerequisite for replay-identical traces.
     _pid_counter = itertools.count(1000)
     # TIDs live in the same global namespace as on Linux: a thread id
     # is unique host-wide, not per process.
     _tid_counter = itertools.count(100_000)
 
     def __init__(self, name: str, host: Any = None, uid: int = 0):
-        self.pid = next(Process._pid_counter)
+        pids = getattr(host, "pid_counter", None)
+        self.pid = next(pids if pids is not None else Process._pid_counter)
         self.name = name
         self.host = host
         self.uid = uid
@@ -241,7 +278,12 @@ class Process:
         self.spawn_thread(name)  # the thread-group leader
 
     def spawn_thread(self, name: str) -> Thread:
-        thread = Thread(tid=next(Process._tid_counter), name=name, process=self)
+        tids = getattr(self.host, "tid_counter", None)
+        thread = Thread(
+            tid=next(tids if tids is not None else Process._tid_counter),
+            name=name,
+            process=self,
+        )
         self.threads.append(thread)
         return thread
 
@@ -257,6 +299,10 @@ class Process:
 
     def drop_capability(self, cap: str) -> None:
         self.capabilities.discard(cap)
+
+    def grant_capability(self, cap: str) -> None:
+        """Re-grant a capability (a rollback/detach compensating action)."""
+        self.capabilities.add(cap)
 
     def has_capability(self, cap: str) -> bool:
         return cap in self.capabilities

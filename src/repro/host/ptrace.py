@@ -48,6 +48,7 @@ class PtraceSession:
         self._check_attached(thread)
         if thread.stopped:
             raise PtraceError(f"thread {thread.tid} is already stopped")
+        self.kernel.faults.check("ptrace.interrupt", tid=thread.tid)
         self.kernel.costs.ptrace_stop()
         thread.stopped = True
 
@@ -56,6 +57,7 @@ class PtraceSession:
         self._check_attached(thread)
         if not thread.stopped:
             raise PtraceError(f"thread {thread.tid} is not stopped")
+        self.kernel.faults.check("ptrace.resume", tid=thread.tid)
         self.kernel.costs.context_switch()
         thread.stopped = False
 
@@ -104,6 +106,7 @@ class PtraceSession:
         thread whose filter permits the call.
         """
         self._check_attached(thread)
+        self.kernel.faults.check("ptrace.inject_syscall", tid=thread.tid, syscall=name)
         if self.seccomp_aware:
             thread = self.pick_thread_for(name, preferred=thread)
         was_stopped = thread.stopped
@@ -176,4 +179,5 @@ class PtraceSession:
 
 def attach(kernel: HostKernel, tracer: Process, tracee: Process) -> PtraceSession:
     """PTRACE_ATTACH ``tracer`` -> ``tracee``."""
+    kernel.faults.check("ptrace.attach", tracer=tracer.pid, tracee=tracee.pid)
     return PtraceSession(kernel, tracer, tracee)

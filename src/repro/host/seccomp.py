@@ -50,8 +50,9 @@ VMM_BASELINE_SYSCALLS = frozenset(
 )
 
 # Syscalls VMSH injects into the hypervisor process (§5): memory setup
-# and inter-process memory access, plus the UNIX socket used to send
-# fds back to the VMSH host process.
+# and inter-process memory access, the UNIX socket used to send fds
+# back to the VMSH host process, and close — VMSH shuts the fds it
+# created inside the hypervisor once KVM holds its own references.
 VMSH_INJECTED_SYSCALLS = frozenset(
     {
         "mmap",
@@ -62,6 +63,7 @@ VMSH_INJECTED_SYSCALLS = frozenset(
         "socketpair",
         "sendmsg",
         "eventfd2",
+        "close",
     }
 )
 

@@ -75,6 +75,7 @@ class KvmSystem(FileObject):
         self.vms: List["VmFd"] = []
 
     def ioctl(self, request: str, arg: Any, thread: Thread) -> Any:
+        self.kernel.faults.check(f"kvm.{request}")
         if request == "KVM_CREATE_VM":
             vm = VmFd(self, owner=thread.process)
             self.vms.append(vm)
@@ -85,6 +86,11 @@ class KvmSystem(FileObject):
 
     def _check_extension(self, name: str) -> bool:
         if name == "KVM_CAP_IOREGIONFD":
+            # The Cloud Hypervisor / unpatched-kernel quirk: a chaos
+            # plan can make the kernel deny ioregionfd support, forcing
+            # the attach onto the wrap_syscall fallback path.
+            if self.kernel.faults.flag("quirk.ioregionfd_missing"):
+                return False
             return self.ioregionfd_supported
         return name in {"KVM_CAP_IRQFD", "KVM_CAP_IOEVENTFD", "KVM_CAP_USER_MEMORY"}
 
@@ -107,6 +113,11 @@ class VmFd(FileObject):
         #: registration needs a GSI pin.
         self.gsi_routing_supported = True
         self.irq_routes: Dict[int, EventFd] = {}
+        # gsi -> the signal callback registered on the eventfd, kept so
+        # KVM_IRQFD deassign can unhook exactly what assign hooked.
+        self._irq_route_cbs: Dict[int, Callable[[], None]] = {}
+        # msi message -> (eventfd, callback), for KVM_IRQFD_MSI deassign.
+        self._msi_routes: Dict[int, tuple] = {}
         self.ioeventfds: List[IoEventFd] = []
         self.ioregions: List[IoRegionFd] = []
         #: hypervisor's in-process MMIO handler (its device emulation)
@@ -119,6 +130,7 @@ class VmFd(FileObject):
     def ioctl(self, request: str, arg: Any, thread: Thread) -> Any:
         # Every VM ioctl traverses kvm_vm_ioctl() in the host kernel —
         # the attach point of VMSH's memslot-snooping eBPF program.
+        self.kernel.faults.check(f"kvm.{request}")
         self.kernel.ebpf_fire("kvm_vm_ioctl", vm=self, request=request)
         if request == "KVM_SET_USER_MEMORY_REGION":
             slot = self._memslots.set_region(
@@ -133,6 +145,8 @@ class VmFd(FileObject):
             self.vcpus.append(vcpu)
             return thread.process.fds.install(vcpu)
         if request == "KVM_IRQFD":
+            if arg.get("deassign"):
+                return self._irqfd_deassign(arg["gsi"])
             if not self.gsi_routing_supported:
                 raise KvmError(
                     "KVM_IRQFD: VM irqchip has no GSI pin routing (MSI-X only)"
@@ -141,8 +155,16 @@ class VmFd(FileObject):
             if not isinstance(eventfd, EventFd):
                 raise KvmError("KVM_IRQFD requires an eventfd")
             gsi = arg["gsi"]
+            if gsi in self.irq_routes:
+                self._irqfd_deassign(gsi)
+            cb = lambda gsi=gsi: self.inject_irq(gsi)  # noqa: E731
             self.irq_routes[gsi] = eventfd
-            eventfd.on_signal(lambda gsi=gsi: self.inject_irq(gsi))
+            self._irq_route_cbs[gsi] = cb
+            eventfd.on_signal(cb)
+            # KVM holds its own reference to the eventfd: the route
+            # survives the hypervisor closing its fd (struct-file
+            # semantics, same as real irqfds).
+            eventfd.incref()
             return 0
         if request == "KVM_IOEVENTFD":
             eventfd = thread.process.fds.get(arg["eventfd"])
@@ -162,16 +184,30 @@ class VmFd(FileObject):
             # Unlike pin-based KVM_IRQFD this works on MSI-X-only
             # irqchips (Cloud Hypervisor) — the basis of the VirtIO-PCI
             # attach extension.
+            message = arg["msi_message"]
+            if arg.get("deassign"):
+                return self._irqfd_msi_deassign(message)
             eventfd = thread.process.fds.get(arg["eventfd"])
             if not isinstance(eventfd, EventFd):
                 raise KvmError("KVM_IRQFD_MSI requires an eventfd")
-            message = arg["msi_message"]
-            eventfd.on_signal(lambda message=message: self.inject_msi(message))
+            if message in self._msi_routes:
+                self._irqfd_msi_deassign(message)
+            cb = lambda message=message: self.inject_msi(message)  # noqa: E731
+            self._msi_routes[message] = (eventfd, cb)
+            eventfd.on_signal(cb)
+            eventfd.incref()
             return 0
         if request == "KVM_SIGNAL_MSI":
             self.inject_msi(arg["msi_message"])
             return 0
         if request == "KVM_SET_IOREGION":
+            new_lo, new_hi = arg["gpa"], arg["gpa"] + arg["size"]
+            if arg.get("remove"):
+                self._drop_ioregions(new_lo, new_hi)
+                self.kernel.tracer.emit(
+                    "kvm", "unset_ioregion", gpa=hex(arg["gpa"]), size=arg["size"]
+                )
+                return 0
             if not self.system.ioregionfd_supported:
                 raise KvmError("KVM_SET_IOREGION: ioregionfd not supported by this kernel")
             sock = thread.process.fds.get(arg["socket"])
@@ -179,12 +215,11 @@ class VmFd(FileObject):
                 raise KvmError("KVM_SET_IOREGION requires a socket")
             # Registering over an existing region replaces it — this is
             # what lets a second VMSH attach supersede a detached one.
-            new_lo, new_hi = arg["gpa"], arg["gpa"] + arg["size"]
-            self.ioregions = [
-                r for r in self.ioregions
-                if not (new_lo < r.gpa + r.size and r.gpa < new_hi)
-            ]
+            self._drop_ioregions(new_lo, new_hi)
             self.ioregions.append(IoRegionFd(gpa=arg["gpa"], size=arg["size"], socket=sock))
+            # KVM references the socket, so it stays connected after
+            # the hypervisor-side fd VMSH injected is closed again.
+            sock.incref()
             self.kernel.tracer.emit(
                 "kvm", "set_ioregion", gpa=hex(arg["gpa"]), size=arg["size"]
             )
@@ -192,6 +227,37 @@ class VmFd(FileObject):
         if request == "KVM_CHECK_EXTENSION":
             return self.system._check_extension(arg)
         raise KvmError(f"unknown VM ioctl {request!r}")
+
+    # -- route teardown ----------------------------------------------------------
+
+    def _irqfd_deassign(self, gsi: int) -> int:
+        eventfd = self.irq_routes.pop(gsi, None)
+        if eventfd is None:
+            raise KvmError(f"KVM_IRQFD deassign: no route for GSI {gsi}")
+        cb = self._irq_route_cbs.pop(gsi, None)
+        if cb is not None:
+            eventfd.remove_signal(cb)
+        eventfd.decref()
+        return 0
+
+    def _irqfd_msi_deassign(self, message: int) -> int:
+        route = self._msi_routes.pop(message, None)
+        if route is None:
+            raise KvmError(f"KVM_IRQFD_MSI deassign: no route for message {message}")
+        eventfd, cb = route
+        eventfd.remove_signal(cb)
+        eventfd.decref()
+        return 0
+
+    def _drop_ioregions(self, lo: int, hi: int) -> None:
+        """Remove (and release) every ioregion overlapping [lo, hi)."""
+        keep: List[IoRegionFd] = []
+        for r in self.ioregions:
+            if lo < r.gpa + r.size and r.gpa < hi:
+                r.socket.decref()
+            else:
+                keep.append(r)
+        self.ioregions = keep
 
     # -- memory ---------------------------------------------------------------------
 

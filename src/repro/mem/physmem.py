@@ -20,6 +20,13 @@ from repro.units import PAGE_SHIFT, PAGE_SIZE
 class PhysicalMemory:
     """A sparse, bounds-checked byte-addressable physical memory."""
 
+    #: chaos hook consulted before every access (``physmem.read`` /
+    #: ``physmem.write`` fault sites).  Class-level and normally None so
+    #: the hot path costs one attribute load; a FaultInjector installs
+    #: its bound ``check`` here only while an armed plan targets
+    #: ``physmem.*`` sites.
+    fault_check = None
+
     def __init__(self, size_bytes: int):
         if size_bytes <= 0 or size_bytes % PAGE_SIZE != 0:
             raise ValueError("physical memory size must be a positive page multiple")
@@ -46,6 +53,8 @@ class PhysicalMemory:
 
     def read(self, addr: int, length: int) -> bytes:
         """Read ``length`` bytes at physical address ``addr``."""
+        if PhysicalMemory.fault_check is not None:
+            PhysicalMemory.fault_check("physmem.read", addr=addr, length=length)
         self._check_range(addr, length)
         out = bytearray(length)
         pos = 0
@@ -62,6 +71,8 @@ class PhysicalMemory:
 
     def write(self, addr: int, data: bytes) -> None:
         """Write ``data`` at physical address ``addr``."""
+        if PhysicalMemory.fault_check is not None:
+            PhysicalMemory.fault_check("physmem.write", addr=addr, length=len(data))
         self._check_range(addr, len(data))
         pos = 0
         while pos < len(data):

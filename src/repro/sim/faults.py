@@ -1,0 +1,284 @@
+"""Deterministic fault injection for the simulated host (chaos substrate).
+
+The attach pipeline's safety claim — a failed or aborted attach leaves
+the guest running and uncorrupted (§4, §6.2) — is only testable if
+failures can be *provoked on demand, reproducibly*.  This module
+provides that: a :class:`FaultPlan` names injection sites threaded
+through the simulated host, and a :class:`FaultInjector` (one per
+:class:`~repro.host.kernel.HostKernel`) consults the armed plan at
+every site.  Schedules can be scripted exactly or derived from the
+master seed via :func:`repro.sim.rng.derive_seed`, so the same seed
+always produces the same fault schedule and the same trace.
+
+Fault semantics are *fail-before*: a site is checked immediately before
+the operation it guards executes, so an injected fault means the
+operation never happened — there is no partially-executed ptrace stop
+or half-registered irqfd to reason about.  Each fired fault is emitted
+to the tracer as a ``fault/injected`` event.
+
+Injection sites (checked wherever the named mechanism runs):
+
+========================  =====================================================
+``attach.<step>``         each step boundary of ``Vmsh._attach_once``
+                          (see ``repro.core.vmsh.ATTACH_STEPS``)
+``ptrace.attach``         PTRACE_ATTACH (``repro.host.ptrace.attach``)
+``ptrace.interrupt``      PTRACE_INTERRUPT
+``ptrace.resume``         PTRACE_CONT
+``ptrace.inject_syscall`` syscall injection into the tracee
+``syscall.<name>``        any host syscall, native or injected
+``ioctl.<request>``       ioctl dispatch by request name (KVM_IRQFD, ...)
+``kvm.<request>``         the KVM side of a VM/system ioctl
+``seccomp.injected``      an *injected* syscall only — the Firecracker
+                          seccomp-kill quirk (§6.2)
+``physmem.read/write``    guest physical memory accessors
+``quirk.<name>``          non-raising behaviour flags, e.g.
+                          ``quirk.ioregionfd_missing`` makes
+                          KVM_CHECK_EXTENSION deny ioregionfd (the
+                          Cloud Hypervisor / unpatched-kernel quirk)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import (
+    PermanentFaultError,
+    SeccompViolationError,
+    TransientFaultError,
+)
+from repro.sim import rng as simrng
+
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+#: sites a seed-derived schedule may draw from by default — one per
+#: mechanism class the attach pipeline exercises.
+DEFAULT_CHAOS_SITES = (
+    "ptrace.interrupt",
+    "ptrace.inject_syscall",
+    "syscall.eventfd2",
+    "syscall.mmap",
+    "ioctl.KVM_IRQFD",
+    "ioctl.KVM_SET_USER_MEMORY_REGION",
+    "ioctl.KVM_SET_IOREGION",
+    "ioctl.KVM_GET_SREGS",
+    "physmem.read",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: fire on the Nth hit of ``site``.
+
+    A *transient* fault fires for hits ``occurrence .. occurrence +
+    count - 1`` and then heals — an occurrence-indexed match, so a
+    retried pipeline that re-traverses the site naturally gets past it.
+    A *permanent* fault fires on every hit from ``occurrence`` on.
+
+    ``flavor`` selects the raised error: ``"generic"`` raises
+    :class:`TransientFaultError`/:class:`PermanentFaultError`;
+    ``"seccomp_kill"`` raises :class:`SeccompViolationError` the way a
+    Firecracker filter would reject the injected syscall.
+    """
+
+    site: str
+    occurrence: int = 1
+    kind: str = TRANSIENT
+    count: int = 1
+    flavor: str = "generic"
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (TRANSIENT, PERMANENT):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.occurrence < 1 or self.count < 1:
+            raise ValueError("occurrence and count are 1-based and positive")
+
+    def matches(self, hit: int) -> bool:
+        if self.kind == PERMANENT:
+            return hit >= self.occurrence
+        return self.occurrence <= hit < self.occurrence + self.count
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` with a provenance label."""
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec] = (),
+        label: str = "scripted",
+        master_seed: int = simrng.MASTER_SEED,
+    ):
+        self.specs: List[FaultSpec] = list(specs)
+        self.label = label
+        self.master_seed = master_seed
+
+    @classmethod
+    def derive(
+        cls,
+        label: str,
+        master_seed: int = simrng.MASTER_SEED,
+        sites: Sequence[str] = DEFAULT_CHAOS_SITES,
+        faults: int = 3,
+        transient_ratio: float = 0.5,
+        max_occurrence: int = 4,
+    ) -> "FaultPlan":
+        """Seed-derived schedule: same ``(label, master_seed)`` — same plan.
+
+        Draws from a dedicated RNG stream (``faults:<label>``) so other
+        seeded subsystems are not perturbed.
+        """
+        stream = simrng.stream(f"faults:{label}", master_seed)
+        specs = []
+        for _ in range(faults):
+            specs.append(
+                FaultSpec(
+                    site=stream.choice(list(sites)),
+                    occurrence=stream.randint(1, max_occurrence),
+                    kind=TRANSIENT if stream.random() < transient_ratio else PERMANENT,
+                )
+            )
+        return cls(specs, label=label, master_seed=master_seed)
+
+    def mentions(self, prefix: str) -> bool:
+        return any(s.site.startswith(prefix) for s in self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.label!r}, {len(self.specs)} specs)"
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """Log record of one injected fault (for chaos-suite assertions)."""
+
+    site: str
+    kind: str
+    occurrence: int
+
+
+class FaultInjector:
+    """Per-host runtime consulted at every fault site.
+
+    Disarmed (the default) it is inert: :meth:`check` is a cheap
+    early-return, so the injector can stay permanently wired into the
+    host's hot paths.  :meth:`suspended` masks injection — rollback
+    code runs under it so compensating actions can never themselves be
+    failed by the plan that triggered them.
+    """
+
+    def __init__(self, tracer: Any = None):
+        self.tracer = tracer
+        self._plan: Optional[FaultPlan] = None
+        self._hits: Dict[str, int] = {}
+        self._suspend_depth = 0
+        self.fired: List[FiredFault] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def arm(self, plan: FaultPlan) -> None:
+        """Install ``plan``; hit counters and the fired log restart."""
+        self._plan = plan
+        self._hits = {}
+        self.fired = []
+        if plan.mentions("physmem."):
+            from repro.mem.physmem import PhysicalMemory
+
+            PhysicalMemory.fault_check = self.check
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault", "armed", plan=plan.label, specs=len(plan.specs)
+            )
+
+    def disarm(self) -> None:
+        from repro.mem.physmem import PhysicalMemory
+
+        if PhysicalMemory.fault_check == self.check:
+            PhysicalMemory.fault_check = None
+        self._plan = None
+        self._hits = {}
+
+    @property
+    def armed(self) -> bool:
+        return self._plan is not None
+
+    @contextmanager
+    def plan(self, plan: FaultPlan) -> Iterator["FaultInjector"]:
+        """Scoped arm/disarm for tests."""
+        self.arm(plan)
+        try:
+            yield self
+        finally:
+            self.disarm()
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Mask injection (nestable) — used while unwinding a transaction."""
+        self._suspend_depth += 1
+        try:
+            yield
+        finally:
+            self._suspend_depth -= 1
+
+    # -- the sites ---------------------------------------------------------
+
+    def check(self, site: str, **detail: Any) -> None:
+        """Count a hit of ``site``; raise if the armed plan says so."""
+        if self._plan is None or self._suspend_depth:
+            return
+        hit = self._hits.get(site, 0) + 1
+        self._hits[site] = hit
+        for spec in self._plan.specs:
+            if spec.site == site and spec.matches(hit):
+                self._fire(spec, hit, detail)
+
+    def flag(self, site: str) -> bool:
+        """Non-raising quirk flag: is ``site`` armed right now?
+
+        Used for faults that alter behaviour instead of failing it,
+        e.g. ``quirk.ioregionfd_missing`` downgrading the host kernel.
+        """
+        if self._plan is None or self._suspend_depth:
+            return False
+        if not any(s.site == site for s in self._plan.specs):
+            return False
+        hit = self._hits.get(site, 0) + 1
+        self._hits[site] = hit
+        self._record(site, "quirk", hit)
+        return True
+
+    def hits(self, site: str) -> int:
+        return self._hits.get(site, 0)
+
+    # -- internal ----------------------------------------------------------
+
+    def _record(self, site: str, kind: str, occurrence: int) -> None:
+        self.fired.append(FiredFault(site=site, kind=kind, occurrence=occurrence))
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault", "injected", site=site, kind=kind, occurrence=occurrence
+            )
+
+    def _fire(self, spec: FaultSpec, hit: int, detail: Dict[str, Any]) -> None:
+        self._record(spec.site, spec.kind, hit)
+        if spec.flavor == "seccomp_kill":
+            raise SeccompViolationError(
+                str(detail.get("syscall", "?")), str(detail.get("thread", "?"))
+            )
+        error = TransientFaultError if spec.kind == TRANSIENT else PermanentFaultError
+        raise error(spec.site, spec.kind, hit, spec.message)
+
+
+class NullFaultInjector(FaultInjector):
+    """Injector that can never fire (for contexts without a host)."""
+
+    def arm(self, plan: FaultPlan) -> None:  # noqa: D102
+        raise RuntimeError("NullFaultInjector cannot arm a plan")
+
+    def check(self, site: str, **detail: Any) -> None:  # noqa: D102
+        return
+
+    def flag(self, site: str) -> bool:  # noqa: D102
+        return False

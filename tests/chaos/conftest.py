@@ -1,0 +1,80 @@
+"""Shared fixtures for the chaos suite.
+
+Every chaos test runs against a fresh :class:`~repro.testbed.Testbed`
+with a scripted or seed-derived :class:`~repro.sim.faults.FaultPlan`
+armed on the host.  ``VMSH_CHAOS_SEED`` selects the master seed for
+the derived schedules (``benchmarks/run_tier1.sh`` pins it), so a
+failing chaos run can be replayed exactly by exporting the same value.
+"""
+
+import os
+
+from repro.testbed import Testbed
+
+#: Master seed for seed-derived fault schedules ("VMSH" in ASCII).
+MASTER_SEED = int(os.environ.get("VMSH_CHAOS_SEED", "0x564D5348"), 0)
+
+#: Every hypervisor flavor the paper targets (Table 1), with the
+#: launch/attach arguments that make a *fault-free* attach succeed:
+#: Firecracker must run without its seccomp filters (§6.2) and Cloud
+#: Hypervisor's MSI-X-only irqchip needs the PCI transport.
+FLAVORS = {
+    "qemu": ("launch_qemu", {}, {}),
+    "kvmtool": ("launch_kvmtool", {}, {}),
+    "firecracker": ("launch_firecracker", {"seccomp": False}, {}),
+    "crosvm": ("launch_crosvm", {}, {}),
+    "cloud_hypervisor": ("launch_cloud_hypervisor", {}, {"transport": "pci"}),
+}
+
+
+def launch_flavor(flavor: str, trace: bool = False, ioregionfd: bool = True):
+    """Fresh testbed + booted hypervisor of ``flavor``.
+
+    Returns ``(tb, hv, attach_kwargs)``.
+    """
+    launch_name, launch_kwargs, attach_kwargs = FLAVORS[flavor]
+    tb = Testbed(ioregionfd=ioregionfd, trace=trace)
+    hv = getattr(tb, launch_name)(**launch_kwargs)
+    return tb, hv, dict(attach_kwargs)
+
+
+def snapshot_state(tb, hv, vmsh):
+    """Everything a failed attach must leave bit-identical.
+
+    Covers the hypervisor process (fd table, thread run state, tracer),
+    the KVM VM (memslots, irqfd/MSI routes, ioregions, ioeventfds, vCPU
+    register files), the guest page-table root page, and the VMSH
+    process itself (fds, capabilities) plus host-global eBPF programs
+    and syscall hooks.
+    """
+    vm = hv.vm
+    return {
+        "hv_fds": tuple(fd for fd, _ in hv.process.fds.items()),
+        "hv_threads": tuple((t.tid, t.stopped) for t in hv.process.threads),
+        "hv_tracer": None if hv.process.tracer is None else hv.process.tracer.pid,
+        "memslots": tuple(
+            (s.slot, s.gpa, s.size, s.hva) for s in vm.memslots()
+        ),
+        "irq_routes": tuple(sorted(vm.irq_routes)),
+        "msi_routes": tuple(sorted(vm._msi_routes)),
+        "ioregions": len(vm.ioregions),
+        "ioeventfds": len(vm.ioeventfds),
+        "vcpu_regs": tuple(tuple(sorted(v.regs.items())) for v in vm.vcpus),
+        "vcpu_sregs": tuple(tuple(sorted(v.sregs.items())) for v in vm.vcpus),
+        "pml4": vm.guest_memory().read(hv.guest.cr3, 4096),
+        "ebpf": tuple(
+            (point, len(progs))
+            for point, progs in sorted(tb.host._ebpf_programs.items())
+            if progs
+        ),
+        "syscall_hooks": tuple(sorted(tb.host._syscall_hooks)),
+        "vmsh_fds": tuple(fd for fd, _ in vmsh.process.fds.items()),
+        "vmsh_caps": frozenset(vmsh.process.capabilities),
+    }
+
+
+def assert_restored(before, after):
+    """Field-by-field comparison so a mismatch names what leaked."""
+    assert before.keys() == after.keys()
+    for key in before:
+        assert after[key] == before[key], f"state leaked across rollback: {key}"

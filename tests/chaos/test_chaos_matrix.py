@@ -1,0 +1,75 @@
+"""The chaos matrix: every hypervisor x every attach step x fault kind.
+
+For each of the five hypervisor flavors (Table 1) a fault is injected
+at each of the eleven pipeline step boundaries, in both kinds:
+
+* *transient* — ``attach(retries=...)`` must roll back the failed
+  attempt, back off on the simulated clock, and succeed on retry;
+* *permanent* — the attach must fail with the injected error, and the
+  rollback must leave hypervisor, guest and VMSH process bit-identical
+  to their pre-attach state (checked field by field), after which a
+  clean attach must still succeed.
+
+In every case the guest must keep running (no panic) and the overlay
+console must serve block IO through vmsh-blk afterwards.
+"""
+
+import pytest
+
+from repro.core.vmsh import ATTACH_STEPS
+from repro.errors import PermanentFaultError
+from repro.sim.faults import FaultPlan, FaultSpec, PERMANENT, TRANSIENT
+
+from tests.chaos.conftest import (
+    FLAVORS,
+    assert_restored,
+    launch_flavor,
+    snapshot_state,
+)
+
+CASES = [
+    (flavor, step, kind)
+    for flavor in FLAVORS
+    for step in ATTACH_STEPS
+    for kind in (TRANSIENT, PERMANENT)
+]
+
+
+def _prove_guest_serves_io(session, hv):
+    """The overlay root is served via vmsh-blk: reading a file is IO proof."""
+    out = session.console.run_command("cat /etc/os-release").output
+    assert out.startswith('NAME="vmsh-overlay"')
+    assert hv.guest.panicked is None
+
+
+@pytest.mark.parametrize(
+    "flavor,step,kind", CASES, ids=[f"{f}-{s}-{k}" for f, s, k in CASES]
+)
+def test_fault_at_every_step(flavor, step, kind):
+    tb, hv, attach_kwargs = launch_flavor(flavor)
+    vmsh = tb.vmsh()
+    before = snapshot_state(tb, hv, vmsh)
+    plan = FaultPlan(
+        [FaultSpec(site=f"attach.{step}", kind=kind)],
+        label=f"{flavor}:{step}:{kind}",
+    )
+
+    if kind == TRANSIENT:
+        with tb.host.faults.plan(plan):
+            session = vmsh.attach(hv.pid, retries=2, **attach_kwargs)
+            fired = list(tb.host.faults.fired)
+        assert [(f.site, f.kind) for f in fired] == [(f"attach.{step}", TRANSIENT)]
+        _prove_guest_serves_io(session, hv)
+        return
+
+    # Permanent: no amount of retrying helps; the attach fails cleanly...
+    with tb.host.faults.plan(plan):
+        with pytest.raises(PermanentFaultError) as exc:
+            vmsh.attach(hv.pid, retries=2, **attach_kwargs)
+    assert exc.value.site == f"attach.{step}"
+    # ...the rollback restored every observable bit of pre-attach state...
+    assert_restored(before, snapshot_state(tb, hv, vmsh))
+    assert hv.guest.panicked is None
+    # ...and the same Vmsh process can attach cleanly afterwards.
+    session = vmsh.attach(hv.pid, **attach_kwargs)
+    _prove_guest_serves_io(session, hv)

@@ -1,0 +1,186 @@
+"""Transactional attach: rollback, retry, backoff and session scoping."""
+
+import pytest
+
+from repro.errors import PermanentFaultError, TransientFaultError
+from repro.sim.faults import FaultPlan, FaultSpec, PERMANENT
+from repro.testbed import Testbed
+
+
+# -- transport="auto": the failed mmio attempt must leave no residue --------
+
+def test_auto_transport_rolls_back_mmio_before_pci_retry():
+    """Cloud Hypervisor's MSI-X-only irqchip fails the mmio attempt at
+    KVM_IRQFD; the PCI retry must start from pristine state."""
+    tb = Testbed(trace=True)
+    hv = tb.launch_cloud_hypervisor()
+    fds_before = len(hv.process.fds)
+    slots_before = len(hv.vm.memslots())
+
+    session = tb.vmsh().attach(hv.pid, transport="auto")
+    assert session.report.transport == "pci"
+
+    # The mmio attempt was rolled back in full before the PCI attempt:
+    # only MSI routes exist, no pin-based GSI routes leaked...
+    assert hv.vm.irq_routes == {}
+    assert len(hv.vm._msi_routes) == 2            # console + blk
+    # ...the hypervisor's fd table carries no leftover injected fds...
+    assert len(hv.process.fds) == fds_before
+    # ...and exactly one new memslot exists (the library).
+    assert len(hv.vm.memslots()) == slots_before + 1
+
+    # Trace shows the failed transaction unwinding before the retry.
+    events = tb.tracer.events
+    rollbacks = tb.tracer.find("txn", "rollback")
+    commits = tb.tracer.find("txn", "commit")
+    assert len(rollbacks) == 1 and len(commits) == 1
+    assert rollbacks[0].detail["failed_step"] == "create_device_fds"
+    assert events.index(rollbacks[0]) < events.index(commits[0])
+
+    assert session.console.run_command("echo pci").output == "pci"
+
+
+# -- per-session privilege scoping ------------------------------------------
+
+def test_privileges_restored_on_detach_and_reattach_works():
+    """§4.5 capabilities are dropped per-session: detach re-grants them
+    so the *same* VMSH process can attach again."""
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    vmsh = tb.vmsh()
+    session = vmsh.attach(hv.pid)
+    assert not vmsh.process.has_capability("CAP_BPF")
+    assert not vmsh.process.has_capability("CAP_SYS_ADMIN")
+    session.detach()
+    assert vmsh.process.has_capability("CAP_BPF")
+    assert vmsh.process.has_capability("CAP_SYS_ADMIN")
+    second = vmsh.attach(hv.pid)
+    assert second.console.run_command("echo again").output == "again"
+
+
+def test_failure_after_privilege_drop_regrants_on_rollback(monkeypatch):
+    """The caps are dropped at the *last* pipeline step, so the only
+    failure point after them is the commit itself — fail it and the
+    rollback must re-grant what was dropped."""
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    vmsh = tb.vmsh()
+    from repro.core.txn import AttachTransaction
+
+    def failing_commit(self):
+        raise RuntimeError("synthetic failure after drop_privileges")
+
+    monkeypatch.setattr(AttachTransaction, "commit", failing_commit)
+    with pytest.raises(RuntimeError, match="synthetic failure"):
+        vmsh.attach(hv.pid)
+    assert vmsh.process.has_capability("CAP_BPF")
+    assert vmsh.process.has_capability("CAP_SYS_ADMIN")
+    assert hv.process.tracer is None
+    assert hv.guest.panicked is None
+    monkeypatch.undo()
+    session = vmsh.attach(hv.pid)
+    assert session.console.run_command("echo ok").output == "ok"
+
+
+# -- detach fd hygiene -------------------------------------------------------
+
+def test_detach_closes_session_fds_ioregionfd_mode():
+    tb = Testbed(ioregionfd=True)
+    hv = tb.launch_qemu()
+    vmsh = tb.vmsh()
+    session = vmsh.attach(hv.pid)
+    assert session.report.mmio_mode == "ioregionfd"
+    owned = list(session._vmsh_fds)
+    assert owned, "ioregionfd session must own device fds + socket"
+    assert all(fd in vmsh.process.fds for fd in owned)
+    session.detach()
+    assert all(fd not in vmsh.process.fds for fd in owned)
+    assert session._vmsh_fds == []
+    session.detach()  # idempotent
+
+
+def test_detach_closes_session_fds_wrap_mode():
+    tb = Testbed(ioregionfd=False)
+    hv = tb.launch_qemu()
+    vmsh = tb.vmsh()
+    session = vmsh.attach(hv.pid)
+    assert session.report.mmio_mode == "wrap_syscall"
+    owned = list(session._vmsh_fds)
+    assert owned and all(fd in vmsh.process.fds for fd in owned)
+    session.detach()
+    assert all(fd not in vmsh.process.fds for fd in owned)
+    assert hv.process.tracer is None
+    session.detach()  # idempotent
+
+
+# -- deterministic retry/backoff ---------------------------------------------
+
+def test_retry_backoff_is_exponential_on_the_sim_clock():
+    tb = Testbed(trace=True)
+    hv = tb.launch_qemu()
+    plan = FaultPlan(
+        [FaultSpec(site="attach.discover", occurrence=1, count=2)]
+    )
+    with tb.host.faults.plan(plan):
+        session = tb.vmsh().attach(hv.pid, retries=3, retry_backoff_ns=100_000)
+    retries = tb.tracer.find("vmsh", "attach_retry")
+    assert [e.detail["backoff_ns"] for e in retries] == [100_000, 200_000]
+    assert [e.detail["attempt"] for e in retries] == [1, 2]
+    assert all(e.detail["site"] == "attach.discover" for e in retries)
+    # The waits really elapsed on the virtual clock.
+    assert retries[1].time_ns >= retries[0].time_ns + 100_000
+    assert session.console.run_command("echo retried").output == "retried"
+
+
+def test_deadline_exhausted_reraises_transient_fault():
+    tb = Testbed(trace=True)
+    hv = tb.launch_qemu()
+    plan = FaultPlan(
+        [FaultSpec(site="attach.discover", occurrence=1, count=10)]
+    )
+    with tb.host.faults.plan(plan):
+        with pytest.raises(TransientFaultError):
+            tb.vmsh().attach(hv.pid, retries=10, deadline_ns=1)
+    # The budget was blown before the first backoff: no retry happened.
+    assert tb.tracer.find("vmsh", "attach_retry") == []
+
+
+def test_zero_retries_propagates_first_transient_fault():
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    plan = FaultPlan([FaultSpec(site="attach.analyse", occurrence=1)])
+    with tb.host.faults.plan(plan):
+        with pytest.raises(TransientFaultError):
+            tb.vmsh().attach(hv.pid)
+
+
+def test_negative_retries_rejected():
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    from repro.errors import VmshError
+
+    with pytest.raises(VmshError):
+        tb.vmsh().attach(hv.pid, retries=-1)
+
+
+# -- guest page tables are journaled and restored ----------------------------
+
+def test_rollback_restores_guest_page_tables_bit_identical():
+    """A fault after load_library must undo every page-table word VMSH
+    wrote while mapping the library (and delete the library memslot)."""
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    mem = hv.vm.guest_memory()
+    pml4_before = mem.read(hv.guest.cr3, 4096)
+    slots_before = [
+        (s.slot, s.gpa, s.size, s.hva) for s in hv.vm.memslots()
+    ]
+    plan = FaultPlan([FaultSpec(site="attach.hijack", kind=PERMANENT)])
+    with tb.host.faults.plan(plan):
+        with pytest.raises(PermanentFaultError):
+            tb.vmsh().attach(hv.pid)
+    assert mem.read(hv.guest.cr3, 4096) == pml4_before
+    assert [
+        (s.slot, s.gpa, s.size, s.hva) for s in hv.vm.memslots()
+    ] == slots_before
+    assert hv.guest.panicked is None
