@@ -17,4 +17,9 @@ PYTHONPATH=src python -m pytest -x -q
 
 PYTHONPATH=src python -m pytest -q \
     benchmarks/test_ablation_copy_path.py \
-    benchmarks/test_ablation_sg_batching.py
+    benchmarks/test_ablation_sg_batching.py \
+    benchmarks/test_ablation_event_idx.py
+
+# Machine-readable numbers for the queued-I/O work (IOPS, latency,
+# notification counters) -> benchmarks/results/BENCH_PR3.json
+PYTHONPATH=src python benchmarks/emit.py

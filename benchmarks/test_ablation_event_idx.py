@@ -1,0 +1,146 @@
+"""Ablation: EVENT_IDX notification suppression x queue depth.
+
+The paper's per-request costs (Fig. 5/6) — a VMEXIT per kick, an
+interrupt injection per completion — only amortise when the driver
+keeps several requests in flight and the ring negotiates
+``VIRTIO_RING_F_EVENT_IDX``.  This run sweeps iodepth x event_idx
+on/off over vmsh-blk's 4 KiB sequential-read worst case and checks the
+*mechanism*, not just the outcome:
+
+* at depth 8 with EVENT_IDX, one kick and one coalesced interrupt
+  serve eight requests, so VMEXITs and irq injections per request drop
+  strictly below depth 1 and simulated IOPS rises >= 1.5x;
+* with EVENT_IDX off the driver must assume the device only looks when
+  kicked, so depth buys (nearly) nothing — that contrast is the
+  feature's whole value;
+* at depth 1 nothing changes: qemu-blk still beats vmsh-blk, exactly
+  the Fig. 5 ordering.
+"""
+
+from conftest import write_report
+
+from repro.bench.harness import BenchEnv, make_env
+from repro.bench.workloads.fio import FioJob, run_fio_blockdev
+from repro.image.builder import build_admin_image
+from repro.testbed import Testbed
+from repro.units import KiB, MiB
+
+DEPTHS = (1, 2, 4, 8)
+JOB_BYTES = 2 * MiB          # 512 requests of 4 KiB
+
+
+def _vmsh_env(event_idx: bool) -> BenchEnv:
+    testbed = Testbed()
+    hv = testbed.launch_qemu()
+    session = testbed.vmsh().attach(
+        hv.pid,
+        mmio_mode="ioregionfd",
+        image=build_admin_image(extra_space=32 * MiB),
+        event_idx=event_idx,
+    )
+    overlay = hv.guest.vmsh_overlay
+    vfs = overlay.overlay.vfs
+    vfs.makedirs("/bench")
+    return BenchEnv(
+        f"vmsh-blk-eventidx-{'on' if event_idx else 'off'}",
+        testbed, vfs, "/bench", overlay.overlay.namespace.root_mount().fs,
+        device=hv.guest.vmsh_block, session=session, hypervisor=hv,
+    )
+
+
+def _sweep(env: BenchEnv) -> dict:
+    """One row per depth: IOPS plus the notification counters."""
+    costs = env.testbed.costs
+    rows = {}
+    for depth in DEPTHS:
+        costs.reset_counters()
+        measurement = run_fio_blockdev(
+            env,
+            FioJob(block_size=4 * KiB, total_bytes=JOB_BYTES,
+                   pattern="seq", direction="read", iodepth=depth,
+                   name=f"{env.name}-qd{depth}"),
+        )
+        ops = measurement.detail["ops"]
+        rows[depth] = {
+            "iops": measurement.value,
+            "elapsed_ns": measurement.elapsed_ns,
+            "ops": ops,
+            "vmexit_per_req": costs.count("vmexit") / ops,
+            "irq_per_req": costs.count("irq_inject") / ops,
+            "kicks": costs.count("kicks"),
+            "kick_suppressed": costs.count("kick_suppressed"),
+            "irq_coalesced": costs.count("irq_coalesced"),
+            "batch_hist": costs.batch_histogram("blk"),
+        }
+    return rows
+
+
+def test_ablation_event_idx(benchmark, results_dir):
+    def run():
+        on = _sweep(_vmsh_env(event_idx=True))
+        off = _sweep(_vmsh_env(event_idx=False))
+        qemu_env = make_env("qemu-blk", disk_size=32 * MiB)
+        qemu = run_fio_blockdev(
+            qemu_env,
+            FioJob(block_size=4 * KiB, total_bytes=JOB_BYTES,
+                   pattern="seq", direction="read", iodepth=1,
+                   name="qemu-blk-qd1"),
+        ).value
+        return on, off, qemu
+
+    on, off, qemu_qd1 = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    gain_on = on[8]["iops"] / on[1]["iops"]
+    gain_off = off[8]["iops"] / off[1]["iops"]
+    lines = [
+        "Ablation: EVENT_IDX notification suppression x iodepth",
+        "(vmsh-blk over ioregionfd, 4 KiB sequential reads)",
+        "",
+        f"{'depth':>5}  {'IOPS on':>10}  {'IOPS off':>10}  "
+        f"{'vmexit/req on':>13}  {'irq/req on':>10}  "
+        f"{'kicks on':>8}  {'suppressed':>10}  {'coalesced':>9}",
+    ]
+    for depth in DEPTHS:
+        lines.append(
+            f"{depth:>5}  {on[depth]['iops']:>10.0f}  {off[depth]['iops']:>10.0f}  "
+            f"{on[depth]['vmexit_per_req']:>13.2f}  {on[depth]['irq_per_req']:>10.2f}  "
+            f"{on[depth]['kicks']:>8}  {on[depth]['kick_suppressed']:>10}  "
+            f"{on[depth]['irq_coalesced']:>9}"
+        )
+    lines += [
+        "",
+        f"depth-8 gain with EVENT_IDX:    {gain_on:.2f}x",
+        f"depth-8 gain without EVENT_IDX: {gain_off:.2f}x",
+        f"qemu-blk qd1 IOPS (Fig. 5 ordering check): {qemu_qd1:.0f} "
+        f"vs vmsh-blk qd1 {on[1]['iops']:.0f}",
+    ]
+    write_report(results_dir, "ablation_event_idx", lines)
+
+    # The acceptance bar: queueing + suppression buys >= 1.5x at depth 8.
+    assert gain_on >= 1.5
+    # The mechanism, not just the outcome: strictly fewer VMEXITs and
+    # interrupt injections per request once the window deepens.
+    assert on[8]["vmexit_per_req"] < on[1]["vmexit_per_req"]
+    assert on[8]["irq_per_req"] < on[1]["irq_per_req"]
+    # One kick per window, the other seven doorbells suppressed; the
+    # device publishes eight completions under one interrupt.
+    ops = on[8]["ops"]
+    assert on[8]["kicks"] == ops // 8
+    assert on[8]["kick_suppressed"] == ops - ops // 8
+    assert on[8]["irq_coalesced"] == ops - ops // 8
+    assert on[8]["batch_hist"].get(8) == ops // 8
+    # Without EVENT_IDX the driver kicks per request at any depth, so
+    # depth buys (essentially) nothing — that contrast is the ablation.
+    assert off[8]["kicks"] == ops
+    assert off[8]["kick_suppressed"] == 0
+    assert gain_off < 1.1
+    assert on[8]["iops"] > off[8]["iops"]
+    # Depth 1 leaves the Fig. 5 story intact: qemu-blk beats vmsh-blk.
+    # EVENT_IDX itself is a small constant tax there (the used_event /
+    # avail_event words ride the ring-control copies, ~2 extra iovec
+    # segments per round trip on the remote accessor) — bounded, and
+    # repaid many times over once the window deepens.
+    assert qemu_qd1 > on[1]["iops"]
+    assert abs(on[1]["iops"] - off[1]["iops"]) / off[1]["iops"] < 0.15
+
+    benchmark.extra_info["event_idx_gain_qd8"] = round(gain_on, 2)

@@ -43,9 +43,11 @@ class VmshDeviceHost:
         blk_irq: Callable[[], None],
         pts: Optional[Pts] = None,
         exec_irq: Optional[Callable[[], None]] = None,
+        event_idx: bool = True,
     ):
         self.costs = costs
         self.accessor = accessor
+        self.event_idx = event_idx
         self.pts = pts if pts is not None else Pts(costs)
         self.console = VirtioConsoleDevice(
             accessor=accessor,
@@ -53,6 +55,7 @@ class VmshDeviceHost:
             costs=costs,
             pts=self.pts,
             name="vmsh-console",
+            offer_event_idx=event_idx,
         )
         self.backend = MappedImageBackend(costs, image_bytes, writable=True)
         self.blk = VirtioBlkDevice(
@@ -61,6 +64,7 @@ class VmshDeviceHost:
             costs=costs,
             backend=self.backend,
             name="vmsh-blk",
+            offer_event_idx=event_idx,
         )
         self.transport = plan.transport
         self._windows: Dict[int, VirtioMmioDevice] = {

@@ -129,6 +129,8 @@ class AttachReport:
     attach_ns: int
     transport: str = "mmio"
     copy_path: str = "vectored"
+    #: whether VMSH's devices offered VIRTIO_RING_F_EVENT_IDX
+    event_idx: bool = True
     #: per-accessor copy counters at the end of attach ("gateway" is
     #: VMSH's analysis/loader path, "device" the VirtIO device path)
     accessor_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
@@ -290,6 +292,7 @@ class Vmsh:
         retries: int = 0,
         deadline_ns: Optional[int] = None,
         retry_backoff_ns: int = 100_000,
+        event_idx: bool = True,
     ) -> VmshSession:
         """Attach to the VM of ``hypervisor_pid`` and spawn the overlay.
 
@@ -314,6 +317,11 @@ class Vmsh:
         ``deadline_ns`` caps the total attach budget, backoff included;
         once exceeded the last transient error is re-raised.  Permanent
         faults and real errors never retry.
+
+        ``event_idx``: whether VMSH's devices offer
+        ``VIRTIO_RING_F_EVENT_IDX`` (notification suppression +
+        interrupt coalescing).  On by default; the ablation benchmark
+        attaches with ``event_idx=False`` to measure what it buys.
         """
         if transport not in ("auto", "mmio", "pci"):
             raise VmshError(f"unknown virtio transport {transport!r}")
@@ -330,6 +338,7 @@ class Vmsh:
                 return self._attach_transport(
                     hypervisor_pid, mmio_mode, command, container_pid,
                     image, copy_path, transport, exec_device, seccomp_aware,
+                    event_idx,
                 )
             except TransientFaultError as err:
                 if attempt >= retries:
@@ -356,6 +365,7 @@ class Vmsh:
         transport: str,
         exec_device: bool,
         seccomp_aware: bool,
+        event_idx: bool = True,
     ) -> VmshSession:
         """One attach attempt, resolving ``transport="auto"``."""
         if transport == "auto":
@@ -363,7 +373,7 @@ class Vmsh:
                 return self._attach_once(
                     hypervisor_pid, mmio_mode, command, container_pid,
                     image, copy_path, "mmio", exec_device,
-                    seccomp_aware,
+                    seccomp_aware, event_idx,
                 )
             except HypervisorNotSupportedError:
                 # MSI-X-only irqchip: the failed mmio attempt has been
@@ -371,11 +381,11 @@ class Vmsh:
                 return self._attach_once(
                     hypervisor_pid, mmio_mode, command, container_pid,
                     image, copy_path, "pci", exec_device,
-                    seccomp_aware,
+                    seccomp_aware, event_idx,
                 )
         return self._attach_once(
             hypervisor_pid, mmio_mode, command, container_pid, image,
-            copy_path, transport, exec_device, seccomp_aware,
+            copy_path, transport, exec_device, seccomp_aware, event_idx,
         )
 
     def _attach_once(
@@ -389,6 +399,7 @@ class Vmsh:
         transport: str,
         exec_device: bool = False,
         seccomp_aware: bool = False,
+        event_idx: bool = True,
     ) -> VmshSession:
         """Run the pipeline under an :class:`AttachTransaction`.
 
@@ -404,6 +415,7 @@ class Vmsh:
             return self._run_pipeline(
                 txn, hypervisor_pid, mmio_mode, command, container_pid,
                 image, copy_path, transport, exec_device, seccomp_aware,
+                event_idx,
             )
         except BaseException:
             txn.rollback()
@@ -421,6 +433,7 @@ class Vmsh:
         transport: str,
         exec_device: bool,
         seccomp_aware: bool,
+        event_idx: bool = True,
     ) -> VmshSession:
         start_ns = self.host.clock.now
         hv = self.host.process(hypervisor_pid)
@@ -507,6 +520,7 @@ class Vmsh:
             exec_irq=(
                 self._irq_signaller(exec_efd) if exec_efd is not None else None
             ),
+            event_idx=event_idx,
         )
         dispatch: MmioDispatch
         if mode == "ioregionfd":
@@ -558,6 +572,7 @@ class Vmsh:
             attach_ns=self.host.clock.now - start_ns,
             transport=transport,
             copy_path=copy_path,
+            event_idx=event_idx,
             accessor_stats={
                 "gateway": gateway.phys.stats.as_dict(),
                 "device": accessor.stats.as_dict(),

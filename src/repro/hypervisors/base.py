@@ -38,6 +38,11 @@ class Hypervisor:
     NAME = "generic-vmm"
     VCPU_THREAD_NAME = "vcpu{index}"
     VIRTIO_TRANSPORT = "mmio"
+    #: whether this VMM's virtio devices offer VIRTIO_RING_F_EVENT_IDX.
+    #: Table-1 quirk knob: a flavor that never offers it (kvmtool) must
+    #: still boot, serve IO, and survive attach — drivers fall back to
+    #: always-notify rings.
+    VIRTIO_EVENT_IDX = True
 
     def __init__(
         self,
@@ -165,6 +170,7 @@ class Hypervisor:
             costs=costs,
             backend=backend,
             name=f"{self.NAME}-blk-{name}",
+            offer_event_idx=self.VIRTIO_EVENT_IDX,
         )
         base = self._next_window
         self._next_window += MMIO_WINDOW_STRIDE

@@ -132,6 +132,42 @@ class CostModel:
     def ioregionfd_message(self) -> None:
         self._charge("ioregionfd_msg", self.p.ioregionfd_msg_ns)
 
+    # -- virtio notification bookkeeping --------------------------------------
+    #
+    # Pure counters (no clock advance): the time of a kick is charged by
+    # the MMIO/VMEXIT path it rides on, and a suppressed notification by
+    # definition costs nothing.  They exist so tests and ablations can
+    # assert the *mechanism* — how many doorbells rang, how many were
+    # elided, how deep the completion batches ran.
+
+    def virtio_kick(self) -> None:
+        """A doorbell actually rung (one MMIO store to QUEUE_NOTIFY)."""
+        self.bump("kicks")
+
+    def virtio_kick_suppressed(self, n: int = 1) -> None:
+        """Doorbells elided under EVENT_IDX (deferred or suppressed)."""
+        self.bump("kick_suppressed", n)
+
+    def virtio_irq_coalesced(self, n: int = 1) -> None:
+        """Per-completion interrupts folded into one batch interrupt."""
+        self.bump("irq_coalesced", n)
+
+    def virtio_irq_suppressed(self) -> None:
+        """A used-ring publish whose interrupt EVENT_IDX elided outright."""
+        self.bump("irq_suppressed")
+
+    def virtio_batch(self, queue: str, depth: int) -> None:
+        """Histogram of completion-batch depths, per device queue kind."""
+        self.bump(f"virtio_{queue}_batch_{depth}")
+
+    def batch_histogram(self, queue: str) -> Dict[int, int]:
+        prefix = f"virtio_{queue}_batch_"
+        return {
+            int(name[len(prefix):]): value
+            for name, value in self.counters.items()
+            if name.startswith(prefix)
+        }
+
     # -- memory copies --------------------------------------------------------
 
     def _copy_ns(self, nbytes: int, bytes_per_us: int, call_ns: int) -> int:

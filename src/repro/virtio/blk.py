@@ -142,6 +142,7 @@ class VirtioBlkDevice(VirtioMmioDevice):
         costs: CostModel,
         backend: BlockBackend,
         name: str = "virtio-blk",
+        offer_event_idx: bool = True,
     ):
         super().__init__(
             device_id=C.DEVICE_ID_BLOCK,
@@ -150,6 +151,7 @@ class VirtioBlkDevice(VirtioMmioDevice):
             costs=costs,
             config_space=blk_config_space(backend.capacity_sectors),
             name=name,
+            offer_event_idx=offer_event_idx,
         )
         self.backend = backend
         self.requests_served = 0
@@ -162,11 +164,21 @@ class VirtioBlkDevice(VirtioMmioDevice):
         if not heads:
             return
         table = ring.read_table()
+        batch = []
         for head in heads:
             written = self._service_request(head, table)
-            ring.push_used(head, written)
+            batch.append((head, written))
             self.requests_served += 1
-        self.raise_interrupt()
+        # All completions of one notification window are published with
+        # a single scattered write; under EVENT_IDX the ring decides
+        # whether the driver asked to be interrupted for this batch.
+        self.costs.virtio_batch("blk", len(batch))
+        if ring.push_used_batch(batch):
+            if len(batch) > 1:
+                self.costs.virtio_irq_coalesced(len(batch) - 1)
+            self.raise_interrupt()
+        else:
+            self.costs.virtio_irq_suppressed()
 
     def _service_request(self, head: int, table: bytes) -> int:
         ring = self._ring(0)
@@ -186,6 +198,11 @@ class VirtioBlkDevice(VirtioMmioDevice):
                 # One backend read for the whole request, then one
                 # scattered copy into the guest's buffers.
                 total = sum(d.length for d in data_descs)
+                if total % SECTOR_SIZE:
+                    raise VirtioError(
+                        f"{self.name}: IN data buffers sum to {total} bytes, "
+                        "not a sector multiple"
+                    )
                 payload = self.backend.read(sector, total // SECTOR_SIZE)
                 iov = []
                 at = 0
@@ -201,15 +218,23 @@ class VirtioBlkDevice(VirtioMmioDevice):
                 data = self.mem.read_vectored(
                     [(d.addr, d.length) for d in data_descs]
                 )
+                if len(data) % SECTOR_SIZE:
+                    raise VirtioError(
+                        f"{self.name}: OUT data buffers sum to {len(data)} bytes, "
+                        "not a sector multiple"
+                    )
                 self.backend.write(sector, data)
             elif req_type == C.VIRTIO_BLK_T_FLUSH:
                 self.backend.flush()
             else:
                 self.mem.write(status_desc.addr, bytes([C.VIRTIO_BLK_S_UNSUPP]))
-                return written + 1
+                return 1
         except VirtioError:
+            # A failed request transferred nothing the driver may rely
+            # on: report only the status byte, never the pre-failure
+            # accumulator of a chain that errored midway.
             self.mem.write(status_desc.addr, bytes([C.VIRTIO_BLK_S_IOERR]))
-            return written + 1
+            return 1
         self.mem.write(status_desc.addr, bytes([C.VIRTIO_BLK_S_OK]))
         return written + 1
 
@@ -239,15 +264,32 @@ class GuestVirtioBlkDisk(BlockDevice):
         self.ring = transport.setup_queue(0, C.DEFAULT_QUEUE_SIZE)
         transport.driver_ok()
         # DMA bounce buffers: a header+status page and a data pool.
+        # In queued mode both are sliced into ``iodepth`` slots so N
+        # requests can be in flight against disjoint buffers.
         self._hdr_gpa = guest_kernel.alloc_guest_pages(1)
         self._data_gpa = guest_kernel.alloc_guest_pages(128)   # 512 KiB pool
         self._data_pool_bytes = 128 * 4096
+        self.iodepth = 1
         guest_kernel.register_irq(transport.irq_gsi, self._on_irq)
         self._pending_completions: List = []
 
     @property
     def capacity_sectors(self) -> int:
         return self._capacity_sectors
+
+    MAX_IODEPTH = 64    # header page: 64 slots of 32 B (16 B hdr + status)
+
+    def set_iodepth(self, depth: int) -> None:
+        """Configure the in-flight window for the queued submission API.
+
+        Depth 1 (the default) is the classic submit-and-spin driver and
+        leaves every existing trace unchanged; deeper windows submit
+        ``depth`` chains back to back and — with EVENT_IDX negotiated —
+        ring the doorbell once per window.
+        """
+        if not 1 <= depth <= self.MAX_IODEPTH:
+            raise VirtioError(f"iodepth {depth} out of range 1..{self.MAX_IODEPTH}")
+        self.iodepth = depth
 
     # -- BlockDevice interface ---------------------------------------------------------
 
@@ -314,24 +356,123 @@ class GuestVirtioBlkDisk(BlockDevice):
         self._submit(buffers)
         self._check_status(status_gpa)
 
-    def _data_segments(self, nbytes: int):
+    def _data_segments(self, nbytes: int, base: int | None = None):
         """One descriptor per 4 KiB page of payload."""
+        if base is None:
+            base = self._data_gpa
         segments = []
         offset = 0
         while offset < nbytes:
             length = min(4096, nbytes - offset)
-            segments.append((self._data_gpa + offset, length))
+            segments.append((base + offset, length))
             offset += length
         return segments
+
+    def _kick(self) -> None:
+        """Ring the doorbell unless the device is known to be looking."""
+        if self.ring.kick_prepare():
+            self.transport.notify(0)
+        elif self.kernel.costs is not None:
+            self.kernel.costs.virtio_kick_suppressed()
+        self.ring.note_kick()
 
     def _submit(self, buffers) -> None:
         if self.kernel.costs is not None:
             self.kernel.costs.guest_block_submit()
         head = self.ring.add_chain(buffers)
-        self.transport.notify(0)
+        self._kick()
         completions = self.ring.collect_used()
         if not any(h == head for h, _ in completions):
             raise VirtioError(f"{self.name}: request {head} did not complete")
+
+    # -- queued submission (iodepth > 1) ------------------------------------------
+
+    def read_sectors_queued(self, requests) -> List[bytes]:
+        """Read ``[(sector, count), ...]`` with up to ``iodepth`` in flight."""
+        ops = []
+        for sector, count in requests:
+            self._check(sector, count)
+            ops.append((C.VIRTIO_BLK_T_IN, sector, count * SECTOR_SIZE, None))
+        return self._run_queued(ops)
+
+    def write_sectors_queued(self, requests) -> None:
+        """Write ``[(sector, data), ...]`` with up to ``iodepth`` in flight."""
+        ops = []
+        for sector, data in requests:
+            if len(data) % SECTOR_SIZE:
+                raise VirtioError("write must be sector aligned")
+            self._check(sector, len(data) // SECTOR_SIZE)
+            ops.append((C.VIRTIO_BLK_T_OUT, sector, len(data), data))
+        self._run_queued(ops)
+
+    def _run_queued(self, ops) -> List[bytes]:
+        depth = self.iodepth
+        slot_bytes = (self._data_pool_bytes // depth) & ~4095
+        results: List[bytes] = [b""] * len(ops)
+        for start in range(0, len(ops), depth):
+            self._submit_window(ops, start, ops[start : start + depth],
+                                slot_bytes, results)
+        return results
+
+    def _submit_window(self, ops, start, window, slot_bytes, results) -> None:
+        """Submit one in-flight window, kick, then harvest it whole.
+
+        Without EVENT_IDX the driver must assume the device only looks
+        at the queue when kicked, so every chain rings the doorbell (the
+        device never publishes ``VRING_USED_F_NO_NOTIFY``).  With
+        EVENT_IDX the window's doorbells collapse into one: the driver
+        raises ``used_event`` to the window's last completion before
+        kicking, so the device also coalesces the completion interrupt.
+        """
+        costs = self.kernel.costs
+        memory = self.kernel.memory
+        inflight = {}
+        for at, (req_type, sector, nbytes, payload) in enumerate(window):
+            if nbytes > slot_bytes:
+                raise VirtioError(
+                    f"{self.name}: {nbytes}-byte request exceeds the "
+                    f"{slot_bytes}-byte slot at iodepth {self.iodepth}"
+                )
+            hdr_gpa = self._hdr_gpa + at * 32
+            status_gpa = hdr_gpa + BLK_HEADER_SIZE
+            data_gpa = self._data_gpa + at * slot_bytes
+            memory.write(hdr_gpa, struct.pack("<IIQ", req_type, 0, sector))
+            if payload is not None:
+                memory.write(data_gpa, payload)
+            writable = req_type == C.VIRTIO_BLK_T_IN
+            buffers = [(hdr_gpa, BLK_HEADER_SIZE, False)]
+            buffers += [
+                (gpa, length, writable)
+                for gpa, length in self._data_segments(nbytes, data_gpa)
+            ]
+            buffers.append((status_gpa, 1, True))
+            if costs is not None:
+                costs.guest_block_submit()
+            head = self.ring.add_chain(buffers)
+            inflight[head] = (start + at, status_gpa, data_gpa, nbytes, writable)
+            if not self.ring.event_idx:
+                self._kick()
+        if self.ring.event_idx:
+            self.ring.set_used_event(
+                (self.ring.last_used + len(window) - 1) & 0xFFFF
+            )
+            self._kick()
+            if costs is not None and len(window) > 1:
+                # Doorbells the in-flight window deferred into one kick.
+                costs.virtio_kick_suppressed(len(window) - 1)
+        completions = self.ring.collect_used()
+        for head, _written in completions:
+            entry = inflight.pop(head, None)
+            if entry is None:
+                raise VirtioError(f"{self.name}: spurious completion {head}")
+            index, status_gpa, data_gpa, nbytes, writable = entry
+            self._check_status(status_gpa)
+            if writable:
+                results[index] = memory.read(data_gpa, nbytes)
+        if inflight:
+            raise VirtioError(
+                f"{self.name}: {len(inflight)} queued request(s) did not complete"
+            )
 
     def _check_status(self, status_gpa: int) -> None:
         status = self.kernel.memory.read(status_gpa, 1)[0]

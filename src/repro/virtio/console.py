@@ -67,6 +67,7 @@ class VirtioConsoleDevice(VirtioMmioDevice):
         costs: CostModel,
         pts: Pts,
         name: str = "vmsh-console",
+        offer_event_idx: bool = True,
     ):
         super().__init__(
             device_id=C.DEVICE_ID_CONSOLE,
@@ -75,6 +76,7 @@ class VirtioConsoleDevice(VirtioMmioDevice):
             costs=costs,
             config_space=b"\x50\x00\x18\x00",  # cols=80, rows=24
             name=name,
+            offer_event_idx=offer_event_idx,
         )
         self.pts = pts
         pts.connect_device(self.host_input)
@@ -96,7 +98,7 @@ class VirtioConsoleDevice(VirtioMmioDevice):
 
     def _drain_tx(self) -> None:
         ring = self._ring(TX_QUEUE)
-        emitted = False
+        batch = []
         for head in ring.pop_available():
             chain = ring.read_chain(head)
             for desc in chain:
@@ -106,11 +108,16 @@ class VirtioConsoleDevice(VirtioMmioDevice):
             self.pts.device_write(
                 self.mem.read_vectored([(d.addr, d.length) for d in chain])
             )
-            ring.push_used(head, 0)
-            emitted = True
-        if emitted:
+            batch.append((head, 0))
+        if batch:
+            self.costs.virtio_batch("console_tx", len(batch))
             self.costs.vmsh_console_hop()
-            self.raise_interrupt()
+            if ring.push_used_batch(batch):
+                if len(batch) > 1:
+                    self.costs.virtio_irq_coalesced(len(batch) - 1)
+                self.raise_interrupt()
+            else:
+                self.costs.virtio_irq_suppressed()
 
     # -- host input path ------------------------------------------------------------------
 
@@ -124,7 +131,7 @@ class VirtioConsoleDevice(VirtioMmioDevice):
             return
         ring = self._ring(RX_QUEUE)
         self._posted_rx.extend(ring.pop_available())
-        delivered = False
+        batch = []
         while self._pending_input and self._posted_rx:
             data = self._pending_input.pop(0)
             head = self._posted_rx.pop(0)
@@ -146,11 +153,16 @@ class VirtioConsoleDevice(VirtioMmioDevice):
                 raise VirtioError("console RX buffer too small for input")
             # One scattered copy for the whole chain.
             self.mem.write_vectored(iov)
-            ring.push_used(head, written)
-            delivered = True
-        if delivered:
+            batch.append((head, written))
+        if batch:
+            self.costs.virtio_batch("console_rx", len(batch))
             self.costs.vmsh_console_hop()
-            self.raise_interrupt()
+            if ring.push_used_batch(batch):
+                if len(batch) > 1:
+                    self.costs.virtio_irq_coalesced(len(batch) - 1)
+                self.raise_interrupt()
+            else:
+                self.costs.virtio_irq_suppressed()
 
 
 class GuestVirtioConsole:

@@ -42,9 +42,20 @@ STATUS_DRIVER_OK = 4
 STATUS_FEATURES_OK = 8
 STATUS_FAILED = 128
 
+# Feature bits.  The simulation models the low feature word only; the
+# VERSION_1 bit (really bit 32) is folded into it as bit 0 so the
+# negotiation handshake exercises the same mask-and-ack dance.
+VIRTIO_F_VERSION_1 = 1 << 0
+VIRTIO_RING_F_EVENT_IDX = 1 << 29
+
 # Descriptor flags
 VRING_DESC_F_NEXT = 1
 VRING_DESC_F_WRITE = 2      # device-writable buffer
+
+# Ring flag words (legacy notification hints; with EVENT_IDX negotiated
+# the avail_event/used_event fields take over, VirtIO 1.1 §2.6.7)
+VRING_AVAIL_F_NO_INTERRUPT = 1
+VRING_USED_F_NO_NOTIFY = 1
 
 # virtio-blk request types
 VIRTIO_BLK_T_IN = 0         # read

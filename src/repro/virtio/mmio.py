@@ -44,6 +44,7 @@ class VirtioMmioDevice:
         costs: CostModel,
         config_space: bytes = b"",
         name: str = "virtio-dev",
+        offer_event_idx: bool = True,
     ):
         self.device_id = device_id
         self.mem = accessor
@@ -51,11 +52,21 @@ class VirtioMmioDevice:
         self.costs = costs
         self.config_space = config_space
         self.name = name
+        self.device_features = C.VIRTIO_F_VERSION_1
+        if offer_event_idx:
+            self.device_features |= C.VIRTIO_RING_F_EVENT_IDX
         self.queues: List[QueueState] = [QueueState() for _ in range(self.QUEUE_COUNT)]
         self._queue_sel = 0
         self.status = 0
         self.interrupt_status = 0
         self.driver_features = 0
+
+    @property
+    def event_idx(self) -> bool:
+        """True once the driver acked VIRTIO_RING_F_EVENT_IDX."""
+        return bool(
+            self.driver_features & self.device_features & C.VIRTIO_RING_F_EVENT_IDX
+        )
 
     # -- register interface --------------------------------------------------------
 
@@ -71,7 +82,7 @@ class VirtioMmioDevice:
         if offset == C.REG_VENDOR_ID:
             return C.VENDOR_ID
         if offset == C.REG_DEVICE_FEATURES:
-            return 0x1  # VIRTIO_F_VERSION_1 (low word)
+            return self.device_features
         if offset == C.REG_QUEUE_NUM_MAX:
             return C.DEFAULT_QUEUE_SIZE
         if offset == C.REG_QUEUE_READY:
@@ -85,6 +96,11 @@ class VirtioMmioDevice:
     def write_register(self, offset: int, value: int) -> None:
         queue = self._selected()
         if offset == C.REG_DRIVER_FEATURES:
+            if value & ~self.device_features:
+                raise VirtioError(
+                    f"{self.name}: driver acked unoffered features "
+                    f"{value & ~self.device_features:#x}"
+                )
             self.driver_features = value
         elif offset == C.REG_QUEUE_SEL:
             if not 0 <= value < self.QUEUE_COUNT:
@@ -132,7 +148,12 @@ class VirtioMmioDevice:
         if not queue.num:
             raise VirtioError(f"{self.name}: queue {index} readied with size 0")
         queue.ring = DeviceRing(
-            self.mem, queue.desc_gpa, queue.avail_gpa, queue.used_gpa, queue.num
+            self.mem,
+            queue.desc_gpa,
+            queue.avail_gpa,
+            queue.used_gpa,
+            queue.num,
+            event_idx=self.event_idx,
         )
         queue.ready = True
 
@@ -180,6 +201,11 @@ class GuestVirtioTransport:
         self.kernel = guest_kernel
         self.base = base_gpa
         self.irq_gsi = irq_gsi
+        self.features = 0           # negotiated feature set, after initialize()
+
+    @property
+    def event_idx(self) -> bool:
+        return bool(self.features & C.VIRTIO_RING_F_EVENT_IDX)
 
     # -- raw register access -----------------------------------------------------------
 
@@ -222,7 +248,11 @@ class GuestVirtioTransport:
             C.REG_STATUS, C.STATUS_ACKNOWLEDGE | C.STATUS_DRIVER
         )
         features = self.read32(C.REG_DEVICE_FEATURES)
-        self.write32(C.REG_DRIVER_FEATURES, features & 0x1)
+        # Ack what the driver understands; a device that does not offer
+        # EVENT_IDX (quirky VMMs, Table 1) falls back to always-notify.
+        wanted = C.VIRTIO_F_VERSION_1 | C.VIRTIO_RING_F_EVENT_IDX
+        self.features = features & wanted
+        self.write32(C.REG_DRIVER_FEATURES, self.features)
         self.write32(
             C.REG_STATUS,
             C.STATUS_ACKNOWLEDGE | C.STATUS_DRIVER | C.STATUS_FEATURES_OK,
@@ -246,12 +276,16 @@ class GuestVirtioTransport:
             used_ring_size,
         )
 
-        total = desc_table_size(size) + avail_ring_size(size) + used_ring_size(size)
+        event_idx = self.event_idx
+        avail_bytes = avail_ring_size(size, event_idx)
+        # Used ring must be 4-byte aligned; the trailing used_event u16
+        # makes the avail block 2 mod 4, so pad when EVENT_IDX is on.
+        avail_bytes = (avail_bytes + 3) & ~3
+        total = desc_table_size(size) + avail_bytes + used_ring_size(size, event_idx)
         base = self.kernel.alloc_guest_pages((total + 4095) // 4096)
         desc_gpa = base
         avail_gpa = desc_gpa + desc_table_size(size)
-        used_gpa = avail_gpa + avail_ring_size(size)
-        # Used ring must be 4-byte aligned; avail_ring_size is even, fine.
+        used_gpa = avail_gpa + avail_bytes
         self.write32(C.REG_QUEUE_SEL, index)
         self.write32(C.REG_QUEUE_NUM, size)
         self.write32(C.REG_QUEUE_DESC_LOW, desc_gpa & 0xFFFFFFFF)
@@ -262,12 +296,16 @@ class GuestVirtioTransport:
         self.write32(C.REG_QUEUE_USED_HIGH, used_gpa >> 32)
         self.write32(C.REG_QUEUE_READY, 1)
         ring = DriverRing(
-            self.kernel.memory, desc_gpa, avail_gpa, used_gpa, size
+            self.kernel.memory, desc_gpa, avail_gpa, used_gpa, size,
+            event_idx=event_idx,
         )
         return ring
 
     def notify(self, index: int) -> None:
         """Kick the device (Fig. 4/3): MMIO write causing a VMEXIT."""
+        costs = getattr(self.kernel, "costs", None)
+        if costs is not None:
+            costs.virtio_kick()
         self.write32(C.REG_QUEUE_NOTIFY, index)
 
     def ack_interrupt(self) -> None:

@@ -84,6 +84,18 @@ class PciVirtioFunction:
     def config_base(self) -> int:
         return slot_address(self.slot)
 
+    @property
+    def event_idx(self) -> bool:
+        """Negotiated EVENT_IDX state of the function.
+
+        BAR0 reuses the virtio-mmio register block, so feature
+        negotiation — including ``VIRTIO_RING_F_EVENT_IDX`` — rides the
+        same ``bar_read``/``bar_write`` path as on MMIO transports; the
+        only PCI-specific difference is that coalesced completion
+        interrupts arrive as MSI-X messages instead of GSI pin toggles.
+        """
+        return self.device.event_idx
+
     # -- config space -------------------------------------------------------
 
     def config_read(self, offset: int) -> int:

@@ -103,6 +103,11 @@ class VmExecDevice(VirtioMmioDevice):
             irq_signal=irq_signal,
             costs=costs,
             name=name,
+            # EVENT_IDX buys nothing on a request/response channel:
+            # every host-side submit must interrupt the guest agent, so
+            # the device does not offer the feature and both rings run
+            # in plain always-notify mode.
+            offer_event_idx=False,
         )
         self._posted_requests: List[int] = []
         self._responses: List[ExecResult] = []

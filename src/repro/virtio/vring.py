@@ -14,24 +14,45 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import VirtioError
-from repro.virtio.constants import VRING_DESC_F_NEXT, VRING_DESC_F_WRITE
+from repro.virtio.constants import (
+    VRING_DESC_F_NEXT,
+    VRING_DESC_F_WRITE,
+    VRING_USED_F_NO_NOTIFY,
+)
 
 DESC_SIZE = 16
 AVAIL_HEADER = 4            # u16 flags + u16 idx
 USED_HEADER = 4
 USED_ELEM_SIZE = 8          # u32 id + u32 len
+EVENT_FIELD_SIZE = 2        # trailing used_event / avail_event u16
 
 
 def desc_table_size(queue_size: int) -> int:
     return queue_size * DESC_SIZE
 
 
-def avail_ring_size(queue_size: int) -> int:
-    return AVAIL_HEADER + 2 * queue_size
+def avail_ring_size(queue_size: int, event_idx: bool = False) -> int:
+    size = AVAIL_HEADER + 2 * queue_size
+    if event_idx:
+        size += EVENT_FIELD_SIZE     # used_event trails the avail ring
+    return size
 
 
-def used_ring_size(queue_size: int) -> int:
-    return USED_HEADER + USED_ELEM_SIZE * queue_size
+def used_ring_size(queue_size: int, event_idx: bool = False) -> int:
+    size = USED_HEADER + USED_ELEM_SIZE * queue_size
+    if event_idx:
+        size += EVENT_FIELD_SIZE     # avail_event trails the used ring
+    return size
+
+
+def vring_need_event(event_idx: int, new_idx: int, old_idx: int) -> bool:
+    """VirtIO 1.1 §2.6.7.2: does crossing ``event_idx`` require a signal?
+
+    True iff the other side's event index lies in the half-open window
+    ``(old_idx, new_idx]`` of ring entries published since the last
+    signal, evaluated in 16-bit modular arithmetic.
+    """
+    return ((new_idx - event_idx - 1) & 0xFFFF) < ((new_idx - old_idx) & 0xFFFF)
 
 
 @dataclass(frozen=True)
@@ -48,7 +69,15 @@ class Descriptor:
 class DriverRing:
     """Guest-driver side of one virtqueue."""
 
-    def __init__(self, memory, desc_gpa: int, avail_gpa: int, used_gpa: int, size: int):
+    def __init__(
+        self,
+        memory,
+        desc_gpa: int,
+        avail_gpa: int,
+        used_gpa: int,
+        size: int,
+        event_idx: bool = False,
+    ):
         if size <= 0 or size & (size - 1):
             raise VirtioError(f"queue size {size} is not a power of two")
         self._mem = memory
@@ -56,18 +85,61 @@ class DriverRing:
         self.avail_gpa = avail_gpa
         self.used_gpa = used_gpa
         self.size = size
+        self.event_idx = event_idx
         self._free: List[int] = list(range(size))
         self._avail_idx = 0
         self._last_used = 0
+        self._kicked_avail = 0
         self._chain_heads: dict = {}
         self._mem.write_u16(avail_gpa, 0)           # flags
         self._mem.write_u16(avail_gpa + 2, 0)       # idx
         self._mem.write_u16(used_gpa, 0)
         self._mem.write_u16(used_gpa + 2, 0)
+        if event_idx:
+            self._mem.write_u16(self.used_event_gpa, 0)
+            self._mem.write_u16(self.avail_event_gpa, 0)
+
+    @property
+    def used_event_gpa(self) -> int:
+        """Driver-written: used index after which it wants an interrupt."""
+        return self.avail_gpa + AVAIL_HEADER + 2 * self.size
+
+    @property
+    def avail_event_gpa(self) -> int:
+        """Device-written: avail index up to which it has already looked."""
+        return self.used_gpa + USED_HEADER + USED_ELEM_SIZE * self.size
 
     @property
     def free_descriptors(self) -> int:
         return len(self._free)
+
+    @property
+    def last_used(self) -> int:
+        return self._last_used
+
+    def set_used_event(self, value: int) -> None:
+        """Ask the device to interrupt only once ``value`` is consumed."""
+        if not self.event_idx:
+            return
+        self._mem.write_u16(self.used_event_gpa, value & 0xFFFF)
+
+    def kick_prepare(self) -> bool:
+        """Must the driver ring the doorbell for what it just published?
+
+        With EVENT_IDX, compares the device's ``avail_event`` hint
+        against the window of chains added since the last kick; without
+        it, honours the legacy ``VRING_USED_F_NO_NOTIFY`` flag.  Reads
+        go through guest RAM directly — suppression costs nothing.
+        """
+        if self.event_idx:
+            avail_event = self._mem.read_u16(self.avail_event_gpa)
+            return vring_need_event(avail_event, self._avail_idx, self._kicked_avail)
+        flags = self._mem.read_u16(self.used_gpa)
+        return not flags & VRING_USED_F_NO_NOTIFY
+
+    def note_kick(self) -> None:
+        """Record that a doorbell was rung for everything published so far."""
+        self._kicked_avail = self._avail_idx
 
     def add_chain(self, buffers: Sequence[Tuple[int, int, bool]]) -> int:
         """Publish a descriptor chain; returns the head descriptor id.
@@ -119,20 +191,44 @@ class DriverRing:
             self._free.extend(chain)
             completed.append((head, written))
             self._last_used = (self._last_used + 1) & 0xFFFF
+        if completed and self.event_idx:
+            # Re-arm: interrupt on the very next completion unless a
+            # queued submission raises the threshold before kicking.
+            self.set_used_event(self._last_used)
         return completed
 
 
 class DeviceRing:
     """Device side of one virtqueue, accessed through an accessor."""
 
-    def __init__(self, accessor, desc_gpa: int, avail_gpa: int, used_gpa: int, size: int):
+    def __init__(
+        self,
+        accessor,
+        desc_gpa: int,
+        avail_gpa: int,
+        used_gpa: int,
+        size: int,
+        event_idx: bool = False,
+    ):
         self._mem = accessor
         self.desc_gpa = desc_gpa
         self.avail_gpa = avail_gpa
         self.used_gpa = used_gpa
         self.size = size
+        self.event_idx = event_idx
         self._last_avail = 0
         self._used_idx = 0
+        # used_event snapshot piggybacked on the last pop_available();
+        # None until the driver's hint has been observed at least once.
+        self._used_event: Optional[int] = None
+
+    @property
+    def used_event_gpa(self) -> int:
+        return self.avail_gpa + AVAIL_HEADER + 2 * self.size
+
+    @property
+    def avail_event_gpa(self) -> int:
+        return self.used_gpa + USED_HEADER + USED_ELEM_SIZE * self.size
 
     # Plain memories (tests, guest-side adapters) may lack the
     # scatter-gather accessor API; fall back to per-segment access.
@@ -157,7 +253,10 @@ class DeviceRing:
         One access for the index, one gathered access for exactly the
         pending ring slots (two iovec segments when the window wraps) —
         devices read rings in bulk, they do not chase one u16 at a time
-        across the process boundary.
+        across the process boundary.  With EVENT_IDX negotiated the
+        driver's ``used_event`` hint rides along as one extra iovec
+        segment of the same gather, so suppression never adds a
+        cross-process round trip.
         """
         avail_idx = self._mem.read_u16(self.avail_gpa + 2)
         pending = (avail_idx - self._last_avail) & 0xFFFF
@@ -175,7 +274,12 @@ class DeviceRing:
                 (ring_base + start * 2, tail * 2),
                 (ring_base, (pending - tail) * 2),
             ]
+        if self.event_idx:
+            iov.append((self.used_event_gpa, 2))
         slot_bytes = self._read_vectored(iov)
+        if self.event_idx:
+            self._used_event = int.from_bytes(slot_bytes[-2:], "little")
+            slot_bytes = slot_bytes[:-2]
         heads = [
             int.from_bytes(slot_bytes[at * 2 : at * 2 + 2], "little")
             for at in range(pending)
@@ -225,12 +329,45 @@ class DeviceRing:
 
     def push_used(self, head: int, written: int) -> None:
         """Publish one completion: used element + index, one scattered write."""
-        slot = self._used_idx % self.size
-        base = self.used_gpa + USED_HEADER + slot * USED_ELEM_SIZE
-        elem = (head & 0xFFFFFFFF).to_bytes(4, "little") + (
-            written & 0xFFFFFFFF
-        ).to_bytes(4, "little")
-        self._used_idx = (self._used_idx + 1) & 0xFFFF
-        self._write_vectored(
-            [(base, elem), (self.used_gpa + 2, (self._used_idx).to_bytes(2, "little"))]
-        )
+        self.push_used_batch([(head, written)])
+
+    def push_used_batch(self, elems: Sequence[Tuple[int, int]]) -> bool:
+        """Publish a batch of completions with one scattered write.
+
+        Consecutive used slots are contiguous bytes, so a batch costs
+        at most two element segments (one extra when the ring wraps)
+        plus the index word — and, under EVENT_IDX, the ``avail_event``
+        hint telling the driver which avail entries the device has
+        already seen, folded into the same write.
+
+        Returns True when the driver must be interrupted for this
+        batch: always, without EVENT_IDX; otherwise only when the new
+        used index crosses the driver's ``used_event`` threshold
+        (VirtIO 1.1 §2.6.7.2).
+        """
+        if not elems:
+            return False
+        old_used = self._used_idx
+        ring_base = self.used_gpa + USED_HEADER
+        iov: List[Tuple[int, bytes]] = []
+        run_slot = old_used % self.size
+        run = bytearray()
+        for at, (head, written) in enumerate(elems):
+            slot = (old_used + at) % self.size
+            if slot == 0 and run:            # ring wrapped: flush the run
+                iov.append((ring_base + run_slot * USED_ELEM_SIZE, bytes(run)))
+                run_slot, run = 0, bytearray()
+            run += (head & 0xFFFFFFFF).to_bytes(4, "little")
+            run += (written & 0xFFFFFFFF).to_bytes(4, "little")
+        iov.append((ring_base + run_slot * USED_ELEM_SIZE, bytes(run)))
+        self._used_idx = (old_used + len(elems)) & 0xFFFF
+        iov.append((self.used_gpa + 2, self._used_idx.to_bytes(2, "little")))
+        if self.event_idx:
+            iov.append((self.avail_event_gpa, self._last_avail.to_bytes(2, "little")))
+        self._write_vectored(iov)
+        if not self.event_idx:
+            return True
+        used_event = self._used_event
+        if used_event is None:
+            used_event = self._mem.read_u16(self.used_event_gpa)
+        return vring_need_event(used_event, self._used_idx, old_used)
