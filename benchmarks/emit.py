@@ -1,30 +1,31 @@
-"""Emit machine-readable bench numbers for this PR's queued-I/O work.
+"""Emit machine-readable bench numbers for a PR's headline experiment.
 
-Re-runs the EVENT_IDX x iodepth ablation (the same sweep as
-``test_ablation_event_idx.py``) plus the depth-1 qemu-blk baseline on a
-fresh deterministic testbed and writes
-``benchmarks/results/BENCH_PR3.json``: simulated IOPS, per-request
-latency, and the notification counters (kicks, suppressed doorbells,
-coalesced interrupts, batch histogram) for every point of the sweep.
+Each PR that lands a measurable change registers an emitter here; the
+tier-1 gate (``benchmarks/run_tier1.sh``) re-runs them on a fresh
+deterministic testbed and writes ``benchmarks/results/BENCH_PR<n>.json``.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/emit.py
+    PYTHONPATH=src python benchmarks/emit.py --pr 4
+    PYTHONPATH=src python benchmarks/emit.py --pr 3 --out /tmp/pr3.json
+
+* ``--pr 3`` — queued-I/O ablation: EVENT_IDX x iodepth sweep (the same
+  sweep as ``test_ablation_event_idx.py``) plus the depth-1 qemu-blk
+  baseline: simulated IOPS, per-request latency and the notification
+  counters for every point.
+* ``--pr 4`` — fleet scaling on the discrete-event scheduler: fleet
+  size x concurrent attaches (``test_fleet_scaling.py``), plus the
+  depth-1 Fig. 5 ordering check.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
-
-from test_ablation_event_idx import DEPTHS, JOB_BYTES, _sweep, _vmsh_env
-
-from repro.bench.harness import make_env
-from repro.bench.workloads.fio import FioJob, run_fio_blockdev
-from repro.units import KiB, MiB
 
 RESULTS = pathlib.Path(__file__).parent / "results"
 
@@ -47,7 +48,13 @@ def _rows(sweep: dict) -> dict:
     return out
 
 
-def main() -> None:
+def payload_pr3() -> dict:
+    from test_ablation_event_idx import DEPTHS, JOB_BYTES, _sweep, _vmsh_env
+
+    from repro.bench.harness import make_env
+    from repro.bench.workloads.fio import FioJob, run_fio_blockdev
+    from repro.units import KiB, MiB
+
     on = _sweep(_vmsh_env(event_idx=True))
     off = _sweep(_vmsh_env(event_idx=False))
     qemu = run_fio_blockdev(
@@ -55,7 +62,7 @@ def main() -> None:
         FioJob(block_size=4 * KiB, total_bytes=JOB_BYTES, pattern="seq",
                direction="read", iodepth=1, name="qemu-blk-qd1"),
     )
-    payload = {
+    return {
         "pr": 3,
         "title": "Queued I/O: EVENT_IDX suppression, multi-request "
                  "submission, interrupt coalescing",
@@ -78,8 +85,89 @@ def main() -> None:
             ),
         },
     }
-    RESULTS.mkdir(exist_ok=True)
-    out = RESULTS / "BENCH_PR3.json"
+
+
+def payload_pr4() -> dict:
+    from test_fleet_scaling import (
+        ATTACH_COUNTS,
+        FLEET_SIZES,
+        SECTORS,
+        SEED,
+        fig5_qd1_rows,
+        fleet_sweep,
+    )
+
+    sweep = fleet_sweep()
+    fig5 = fig5_qd1_rows()
+    points = {}
+    for (fleet, attaches), row in sorted(sweep.items()):
+        points[f"fleet{fleet}_attach{attaches}"] = {
+            "fleet_size": fleet,
+            "attaches": attaches,
+            "elapsed_ns": row["elapsed_ns"],
+            "io_window_ns": row["io_window_ns"],
+            "io_ops": row["io_ops"],
+            "aggregate_iops": round(row["aggregate_iops"], 1),
+            "per_vm_iops": round(row["per_vm_iops"], 1),
+            "attach_latency_ns_mean": round(row["attach_latency_ns_mean"], 1),
+            "attach_latency_ns_max": row["attach_latency_ns_max"],
+            "events_dispatched": row["events_dispatched"],
+        }
+    return {
+        "pr": 4,
+        "title": "Deterministic discrete-event scheduler: concurrent VMs, "
+                 "interleaved attaches, fleet-scale control plane",
+        "workload": f"vmsh-blk queued I/O ({SECTORS} writes + {SECTORS} reads "
+                    "per VM, iodepth 4) under per-session service tasks, "
+                    "interleaved with full attach pipelines",
+        "scheduler_seed": SEED,
+        "fleet_sizes": list(FLEET_SIZES),
+        "attach_counts": list(ATTACH_COUNTS),
+        "sweep": points,
+        "fig5_qd1": {
+            name: {
+                "iops": round(row["iops"], 1),
+                "latency_ns_per_req": round(row["latency_ns_per_req"], 1),
+            }
+            for name, row in fig5.items()
+        },
+        "headline": {
+            "per_vm_iops_fleet1_over_fleet8": round(
+                sweep[(1, 1)]["per_vm_iops"] / sweep[(8, 1)]["per_vm_iops"], 2
+            ),
+            "aggregate_iops_fleet8_over_fleet1": round(
+                sweep[(8, 1)]["aggregate_iops"]
+                / sweep[(1, 1)]["aggregate_iops"], 2
+            ),
+            "attach_contention_2_over_1_fleet8": round(
+                sweep[(8, 2)]["attach_latency_ns_mean"]
+                / sweep[(8, 1)]["attach_latency_ns_mean"], 2
+            ),
+            "fig5_ordering_qd1_qemu_over_vmsh": round(
+                fig5["qemu-blk"]["iops"]
+                / fig5["vmsh-blk-ioregionfd"]["iops"], 2
+            ),
+        },
+    }
+
+
+EMITTERS = {3: payload_pr3, 4: payload_pr4}
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pr", type=int, default=max(EMITTERS), choices=sorted(EMITTERS),
+        help="which PR's numbers to emit (default: the newest)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="output path (default: benchmarks/results/BENCH_PR<n>.json)",
+    )
+    args = parser.parse_args(argv)
+    payload = EMITTERS[args.pr]()
+    out = args.out if args.out is not None else RESULTS / f"BENCH_PR{args.pr}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
     print(json.dumps(payload["headline"], indent=2))

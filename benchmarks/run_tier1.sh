@@ -18,8 +18,10 @@ PYTHONPATH=src python -m pytest -x -q
 PYTHONPATH=src python -m pytest -q \
     benchmarks/test_ablation_copy_path.py \
     benchmarks/test_ablation_sg_batching.py \
-    benchmarks/test_ablation_event_idx.py
+    benchmarks/test_ablation_event_idx.py \
+    benchmarks/test_fleet_scaling.py
 
-# Machine-readable numbers for the queued-I/O work (IOPS, latency,
-# notification counters) -> benchmarks/results/BENCH_PR3.json
-PYTHONPATH=src python benchmarks/emit.py
+# Machine-readable numbers per PR -> benchmarks/results/BENCH_PR<n>.json
+# (emit.py takes the PR number; --out overrides the default path).
+PYTHONPATH=src python benchmarks/emit.py --pr 3
+PYTHONPATH=src python benchmarks/emit.py --pr 4

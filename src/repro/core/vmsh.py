@@ -115,6 +115,22 @@ COPY_PATHS = {
 }
 
 
+def _drain(gen):
+    """Exhaust a pipeline generator synchronously, returning its value.
+
+    The attach pipeline is written once, as a generator whose yields
+    mark the :data:`ATTACH_STEPS` boundaries.  Run under a scheduler
+    :class:`~repro.sim.sched.Task` the yields are interleave points;
+    drained here they are no-ops, which is what keeps the synchronous
+    :meth:`Vmsh.attach` bit-identical to the pre-scheduler pipeline.
+    """
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+
 @dataclass
 class AttachReport:
     """Diagnostics from one attach."""
@@ -165,6 +181,23 @@ class VmshConsole:
             output=output.rstrip("\n"), latency_ns=self._host.clock.now - start
         )
 
+    def run_command_task(self, line: str):
+        """Cooperative variant of :meth:`run_command` for scheduler tasks.
+
+        Under a running scheduler the round trip spans several events —
+        RX irq injection, the guest shell, the TX drain by the device
+        service task — so the output arrives a few scheduling turns
+        after the write.  Yields until it does.
+        """
+        start = self._host.clock.now
+        self._pts.user_write(line.encode() + b"\n")
+        while not self._pts.output:
+            yield "console-wait"
+        output = self._pts.user_read_all().decode(errors="replace")
+        return CommandResult(
+            output=output.rstrip("\n"), latency_ns=self._host.clock.now - start
+        )
+
 
 class VmshSession:
     """A live attachment to one VM."""
@@ -196,6 +229,16 @@ class VmshSession:
         #: can attach again.
         self._dropped_caps = list(dropped_caps or [])
         self.detached = False
+
+    def start_service(self, scheduler):
+        """Move this session's device servicing onto the scheduler.
+
+        Returns the service :class:`~repro.sim.sched.Task`; detach
+        stops it and restores inline servicing.
+        """
+        return self.device_host.start_service_task(
+            scheduler, label=f"vmsh-dev:{self.report.hypervisor_pid}"
+        )
 
     def memory_stats(self) -> Dict[str, Dict[str, int]]:
         """Live copy-path counters (the report holds the attach-time snapshot)."""
@@ -241,6 +284,7 @@ class VmshSession:
         if self.detached:
             return
         self.detached = True
+        self.device_host.stop_service_task()
         if isinstance(self.dispatch, WrapSyscallDispatch):
             self.dispatch.uninstall()
         if self._ptrace is not None and self._ptrace.attached:
@@ -323,14 +367,9 @@ class Vmsh:
         interrupt coalescing).  On by default; the ablation benchmark
         attaches with ``event_idx=False`` to measure what it buys.
         """
-        if transport not in ("auto", "mmio", "pci"):
-            raise VmshError(f"unknown virtio transport {transport!r}")
-        if unoptimised_copy:
-            copy_path = "staged"
-        if copy_path not in COPY_PATHS:
-            raise VmshError(f"unknown copy path {copy_path!r}")
-        if retries < 0:
-            raise VmshError("retries must be >= 0")
+        copy_path = self._validate_attach(
+            transport, copy_path, unoptimised_copy, retries
+        )
         start_ns = self.host.clock.now
         attempt = 0
         while True:
@@ -341,20 +380,101 @@ class Vmsh:
                     event_idx,
                 )
             except TransientFaultError as err:
-                if attempt >= retries:
-                    raise
-                backoff = retry_backoff_ns << attempt
-                elapsed = self.host.clock.now - start_ns
-                if deadline_ns is not None and elapsed + backoff > deadline_ns:
-                    raise
-                self.host.tracer.emit(
-                    "vmsh", "attach_retry", attempt=attempt + 1,
-                    site=err.site, backoff_ns=backoff,
+                backoff = self._retry_backoff(
+                    err, attempt, retries, retry_backoff_ns, deadline_ns,
+                    start_ns,
                 )
                 self.host.clock.advance(backoff)
                 attempt += 1
 
-    def _attach_transport(
+    def attach_task(
+        self,
+        hypervisor_pid: int,
+        mmio_mode: str = "auto",
+        command: str = "/bin/sh",
+        container_pid: int = 0,
+        image: Optional[bytes] = None,
+        unoptimised_copy: bool = False,
+        copy_path: str = "vectored",
+        transport: str = "mmio",
+        exec_device: bool = False,
+        seccomp_aware: bool = False,
+        retries: int = 0,
+        deadline_ns: Optional[int] = None,
+        retry_backoff_ns: int = 100_000,
+        event_idx: bool = True,
+    ):
+        """Cooperative :meth:`attach` for scheduler tasks (a generator).
+
+        The pipeline yields at every :data:`ATTACH_STEPS` boundary, so
+        N concurrent attaches — and their fault/retry/backoff paths —
+        interleave deterministically under the event scheduler.  Retry
+        backoff becomes a timed yield instead of an inline clock
+        advance.  Spawn with ``scheduler.spawn(vmsh.attach_task(...))``;
+        the task's result is the :class:`VmshSession`.
+        """
+        copy_path = self._validate_attach(
+            transport, copy_path, unoptimised_copy, retries
+        )
+        start_ns = self.host.clock.now
+        attempt = 0
+        while True:
+            try:
+                session = yield from self._attach_transport_gen(
+                    hypervisor_pid, mmio_mode, command, container_pid,
+                    image, copy_path, transport, exec_device, seccomp_aware,
+                    event_idx,
+                )
+                return session
+            except TransientFaultError as err:
+                backoff = self._retry_backoff(
+                    err, attempt, retries, retry_backoff_ns, deadline_ns,
+                    start_ns,
+                )
+                yield backoff
+                attempt += 1
+
+    def _validate_attach(
+        self, transport: str, copy_path: str, unoptimised_copy: bool,
+        retries: int,
+    ) -> str:
+        if transport not in ("auto", "mmio", "pci"):
+            raise VmshError(f"unknown virtio transport {transport!r}")
+        if unoptimised_copy:
+            copy_path = "staged"
+        if copy_path not in COPY_PATHS:
+            raise VmshError(f"unknown copy path {copy_path!r}")
+        if retries < 0:
+            raise VmshError("retries must be >= 0")
+        return copy_path
+
+    def _retry_backoff(
+        self,
+        err: TransientFaultError,
+        attempt: int,
+        retries: int,
+        retry_backoff_ns: int,
+        deadline_ns: Optional[int],
+        start_ns: int,
+    ) -> int:
+        """Deterministic exponential backoff, or re-raise ``err``."""
+        if attempt >= retries:
+            raise err
+        backoff = retry_backoff_ns << attempt
+        elapsed = self.host.clock.now - start_ns
+        if deadline_ns is not None and elapsed + backoff > deadline_ns:
+            raise err
+        self.host.tracer.emit(
+            "vmsh", "attach_retry", attempt=attempt + 1,
+            site=err.site, backoff_ns=backoff,
+        )
+        return backoff
+
+    def _attach_transport(self, *args) -> VmshSession:
+        """One synchronous attach attempt (drains the generator)."""
+        return _drain(self._attach_transport_gen(*args))
+
+    def _attach_transport_gen(
         self,
         hypervisor_pid: int,
         mmio_mode: str,
@@ -366,29 +486,35 @@ class Vmsh:
         exec_device: bool,
         seccomp_aware: bool,
         event_idx: bool = True,
-    ) -> VmshSession:
+    ):
         """One attach attempt, resolving ``transport="auto"``."""
         if transport == "auto":
             try:
-                return self._attach_once(
+                session = yield from self._attach_once_gen(
                     hypervisor_pid, mmio_mode, command, container_pid,
                     image, copy_path, "mmio", exec_device,
                     seccomp_aware, event_idx,
                 )
+                return session
             except HypervisorNotSupportedError:
                 # MSI-X-only irqchip: the failed mmio attempt has been
                 # rolled back, retry over PCI (§6.2 future work).
-                return self._attach_once(
+                session = yield from self._attach_once_gen(
                     hypervisor_pid, mmio_mode, command, container_pid,
                     image, copy_path, "pci", exec_device,
                     seccomp_aware, event_idx,
                 )
-        return self._attach_once(
+                return session
+        session = yield from self._attach_once_gen(
             hypervisor_pid, mmio_mode, command, container_pid, image,
             copy_path, transport, exec_device, seccomp_aware, event_idx,
         )
+        return session
 
-    def _attach_once(
+    def _attach_once(self, *args, **kwargs) -> VmshSession:
+        return _drain(self._attach_once_gen(*args, **kwargs))
+
+    def _attach_once_gen(
         self,
         hypervisor_pid: int,
         mmio_mode: str,
@@ -400,28 +526,35 @@ class Vmsh:
         exec_device: bool = False,
         seccomp_aware: bool = False,
         event_idx: bool = True,
-    ) -> VmshSession:
+    ):
         """Run the pipeline under an :class:`AttachTransaction`.
 
         Any failure — injected fault, unsupported hypervisor, analysis
         error — rolls back every change made so far, leaving hypervisor
         and guest bit-identical to their pre-attach state, then
-        re-raises the original error.
+        re-raises the original error.  Rollback runs atomically (no
+        yields): a half-undone hypervisor is never visible to other
+        tasks.
         """
         if mmio_mode not in ("auto", "ioregionfd", "wrap_syscall"):
             raise VmshError(f"unknown mmio mode {mmio_mode!r}")
         txn = AttachTransaction(self.host, label=f"attach:{hypervisor_pid}")
         try:
-            return self._run_pipeline(
+            session = yield from self._pipeline(
                 txn, hypervisor_pid, mmio_mode, command, container_pid,
                 image, copy_path, transport, exec_device, seccomp_aware,
                 event_idx,
             )
+            return session
         except BaseException:
             txn.rollback()
             raise
 
-    def _run_pipeline(
+    def _run_pipeline(self, *args, **kwargs) -> VmshSession:
+        """Synchronous pipeline driver (the pre-scheduler entry point)."""
+        return _drain(self._pipeline(*args, **kwargs))
+
+    def _pipeline(
         self,
         txn: AttachTransaction,
         hypervisor_pid: int,
@@ -434,16 +567,21 @@ class Vmsh:
         exec_device: bool,
         seccomp_aware: bool,
         event_idx: bool = True,
-    ) -> VmshSession:
+    ):
+        # Each ``yield`` marks an ATTACH_STEPS boundary: a scheduler
+        # task suspends there, letting other attaches and device work
+        # run in between; the synchronous driver treats them as no-ops.
         start_ns = self.host.clock.now
         hv = self.host.process(hypervisor_pid)
 
         # 1. /proc discovery of KVM fds.
         txn.step("discover")
+        yield "discover"
         vm_fd, vcpu_fds = self._discover_kvm_fds(hypervisor_pid)
 
         # 2. ptrace attach + interrupt.
         txn.step("ptrace_attach")
+        yield "ptrace_attach"
         session = ptrace_attach(self.host, self.process, hv)
         txn.push(
             "ptrace detach (resumes interrupted threads)",
@@ -455,12 +593,14 @@ class Vmsh:
 
         # 3. eBPF memslot snooping, triggered by an injected ioctl.
         txn.step("snoop_memslots")
+        yield "snoop_memslots"
         ioregionfd_supported, records = self._snoop_memslots(
             session, inject_thread, vm_fd
         )
 
         # 4. CR3 from vCPU 0.
         txn.step("read_sregs")
+        yield "read_sregs"
         sregs = session.inject_syscall(
             inject_thread, "ioctl", vcpu_fds[0], "KVM_GET_SREGS"
         )
@@ -472,6 +612,7 @@ class Vmsh:
 
         # 5./6./7. Binary analysis (reads only, nothing to undo).
         txn.step("analyse")
+        yield "analyse"
         location = find_kernel(gateway)
         ksymtab = parse_ksymtab(gateway, location)
         version = self._detect_version(gateway, ksymtab)
@@ -483,6 +624,7 @@ class Vmsh:
             raise SymbolResolutionError(missing[0])
 
         txn.step("build_library")
+        yield "build_library"
         plan = plan_library(
             version, command=command, container_pid=container_pid,
             transport=transport, exec_device=exec_device,
@@ -491,6 +633,7 @@ class Vmsh:
 
         # 8. Device fds inside the hypervisor.
         txn.step("create_device_fds")
+        yield "create_device_fds"
         mode = self._choose_mode(mmio_mode, ioregionfd_supported)
         console_efd, blk_efd, exec_efd, ioregion_socket, session_fds = (
             self._create_device_fds(txn, session, inject_thread, vm_fd, plan, mode)
@@ -498,6 +641,7 @@ class Vmsh:
 
         # 9. Library placement.
         txn.step("load_library")
+        yield "load_library"
         blob_gpa, lib_vaddr, gateway = self._load_library(
             txn, session, inject_thread, vm_fd, gateway, location, ksymtab,
             blob, records,
@@ -505,6 +649,7 @@ class Vmsh:
 
         # Devices + dispatch.
         txn.step("install_dispatch")
+        yield "install_dispatch"
         image_bytes = image if image is not None else self.image
         accessor_cls = COPY_PATHS[copy_path]
         accessor = accessor_cls(
@@ -536,6 +681,7 @@ class Vmsh:
 
         # 10. Trampoline: save registers, divert RIP, resume.
         txn.step("hijack")
+        yield "hijack"
         self._hijack_and_run(
             txn, session, inject_thread, hv, vcpu_fds[0], blob, blob_gpa,
             lib_vaddr, gateway,
@@ -544,6 +690,7 @@ class Vmsh:
         # 11. Privilege drop (§4.5), scoped to the session: detach (or
         # rollback) re-grants exactly what was held before.
         txn.step("drop_privileges")
+        yield "drop_privileges"
         dropped_caps: List[str] = []
         for cap in ("CAP_BPF", "CAP_SYS_ADMIN"):
             if self.process.has_capability(cap):

@@ -41,6 +41,10 @@ class HostKernel:
         self.tracer = tracer if tracer is not None else NullTracer()
         #: fault-injection runtime (inert until a FaultPlan is armed)
         self.faults = FaultInjector(self.tracer)
+        #: discrete-event scheduler (set by the Testbed).  Signal paths
+        #: consult it via :meth:`wakeup`; ``None`` or an idle scheduler
+        #: means fully synchronous legacy behaviour.
+        self.scheduler: Optional["Scheduler"] = None
         #: host CPU architecture (VMSH is built per-arch, §5)
         self.arch = X86_64
         self.processes: Dict[int, Process] = {}
@@ -54,6 +58,26 @@ class HostKernel:
         # Per-thread syscall trace hooks installed via ptrace
         # (tid -> callback(thread, syscall_name, phase)).
         self._syscall_hooks: Dict[int, Callable[[Thread, str, str], None]] = {}
+
+    # -- deferred wakeups --------------------------------------------------------
+
+    def wakeup(self, fn: Callable[[], None], delay_ns: int = 0,
+               label: str = "wakeup") -> Optional[object]:
+        """Run ``fn`` now, or defer it onto the event scheduler.
+
+        Deferral happens only while a scheduler loop is actively
+        dispatching: irqfd/ioeventfd signals then become schedulable
+        wakeups that interleave with other VMs' work.  Outside the loop
+        (every pre-scheduler entry point) ``fn`` runs inline, keeping
+        the single-VM paths bit-identical to the synchronous substrate.
+        Returns the :class:`~repro.sim.sched.Timer` when deferred,
+        ``None`` when run inline.
+        """
+        sched = self.scheduler
+        if sched is not None and sched.running:
+            return sched.after(delay_ns, fn, label=label)
+        fn()
+        return None
 
     # -- process management ----------------------------------------------------
 

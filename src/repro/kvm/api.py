@@ -157,7 +157,12 @@ class VmFd(FileObject):
             gsi = arg["gsi"]
             if gsi in self.irq_routes:
                 self._irqfd_deassign(gsi)
-            cb = lambda gsi=gsi: self.inject_irq(gsi)  # noqa: E731
+            # The irqfd signal is a *wakeup*: under a running scheduler
+            # the injection is queued as an event (so one VM's irq can
+            # interleave with another VM's work); otherwise immediate.
+            cb = lambda gsi=gsi: self.kernel.wakeup(  # noqa: E731
+                lambda gsi=gsi: self.inject_irq(gsi), label=f"irqfd:gsi{gsi}"
+            )
             self.irq_routes[gsi] = eventfd
             self._irq_route_cbs[gsi] = cb
             eventfd.on_signal(cb)
@@ -192,7 +197,10 @@ class VmFd(FileObject):
                 raise KvmError("KVM_IRQFD_MSI requires an eventfd")
             if message in self._msi_routes:
                 self._irqfd_msi_deassign(message)
-            cb = lambda message=message: self.inject_msi(message)  # noqa: E731
+            cb = lambda message=message: self.kernel.wakeup(  # noqa: E731
+                lambda message=message: self.inject_msi(message),
+                label=f"irqfd:msi{message}",
+            )
             self._msi_routes[message] = (eventfd, cb)
             eventfd.on_signal(cb)
             eventfd.incref()
@@ -308,7 +316,10 @@ class VmFd(FileObject):
             for ioe in self.ioeventfds:
                 if ioe.matches(addr, value):
                     costs.eventfd_signal()
-                    ioe.eventfd.signal()
+                    # The vCPU resumes immediately after the in-kernel
+                    # signal; whoever polls the eventfd wakes up as a
+                    # scheduled event when a scheduler loop is running.
+                    self.kernel.wakeup(ioe.eventfd.signal, label="ioeventfd")
                     return 0
 
         # 2. ioregionfd: the kernel forwards the access over a socket,

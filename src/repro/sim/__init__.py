@@ -1,8 +1,17 @@
-"""Deterministic simulation substrate: clock, cost model, RNG, tracing."""
+"""Deterministic simulation substrate: clock, scheduler, costs, RNG, tracing."""
 
 from repro.sim.clock import Clock, Stopwatch, TimeSeries
 from repro.sim.costs import CostModel, CostParams
 from repro.sim.rng import derive_seed, stream
+from repro.sim.sched import (
+    Completion,
+    PeriodicTimer,
+    Scheduler,
+    SchedulerError,
+    Task,
+    Timer,
+    Waitable,
+)
 from repro.sim.trace import Event, NullTracer, Tracer
 
 __all__ = [
@@ -13,6 +22,13 @@ __all__ = [
     "CostParams",
     "derive_seed",
     "stream",
+    "Completion",
+    "PeriodicTimer",
+    "Scheduler",
+    "SchedulerError",
+    "Task",
+    "Timer",
+    "Waitable",
     "Event",
     "Tracer",
     "NullTracer",

@@ -41,6 +41,17 @@ class Clock:
         """Register ``observer(old_ns, new_ns)`` called on every advance."""
         self._observers.append(observer)
 
+    def unsubscribe(self, observer: Callable[[int, int], None]) -> None:
+        """Remove a subscribed observer (no-op if absent).
+
+        Observers that outlive their owner — a monitor's time series
+        after ``detach()``, a tracer from a finished session — would
+        otherwise keep firing on every advance for the clock's whole
+        lifetime.
+        """
+        if observer in self._observers:
+            self._observers.remove(observer)
+
     def elapsed_since(self, t0_ns: int) -> int:
         """Nanoseconds elapsed since ``t0_ns``."""
         return self._now - t0_ns
@@ -80,14 +91,43 @@ class Stopwatch:
 
 
 class TimeSeries:
-    """Append-only series of (time, value) samples on a virtual clock."""
+    """Append-only series of (time, value) samples on a virtual clock.
+
+    Besides explicit :meth:`record` calls, a series can *follow* a
+    probe function, sampling it on every clock advance.  A following
+    series holds a clock observer and MUST be :meth:`close`\\ d when its
+    owner goes away (session detach, monitor teardown) or the observer
+    leaks and keeps firing forever.
+    """
 
     def __init__(self, clock: Clock):
         self._clock = clock
         self.samples: List[Tuple[int, float]] = []
+        self._observer: Callable[[int, int], None] | None = None
 
     def record(self, value: float) -> None:
         self.samples.append((self._clock.now, value))
+
+    def follow(self, probe: Callable[[], float]) -> None:
+        """Sample ``probe()`` on every clock advance until closed."""
+        if self._observer is not None:
+            raise ValueError("time series is already following a probe")
+
+        def observer(_old_ns: int, new_ns: int) -> None:
+            self.samples.append((new_ns, float(probe())))
+
+        self._observer = observer
+        self._clock.subscribe(observer)
+
+    def close(self) -> None:
+        """Detach from the clock; idempotent."""
+        if self._observer is not None:
+            self._clock.unsubscribe(self._observer)
+            self._observer = None
+
+    @property
+    def following(self) -> bool:
+        return self._observer is not None
 
     def values(self) -> List[float]:
         return [v for _, v in self.samples]

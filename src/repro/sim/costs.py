@@ -68,6 +68,10 @@ class CostParams:
     p9_rpcs_per_data_op: int = 4            # walk/open/rw/clunk
     p9_rpcs_per_meta_op: int = 3
 
+    # Serverless control plane (§6.5 vHive)
+    faas_route_ns: int = 3_000_000          # route a request to a *warm* microVM
+    faas_cold_start_ns: int = 125_000_000   # boot + handler init of a cold microVM
+
     # Console / tty / network
     tty_layer_ns: int = 20_000              # line discipline + shell turnaround
     shell_exec_ns: int = 180_000            # shell parses and echoes a command
@@ -236,6 +240,16 @@ class CostModel:
 
     def p9_meta_op(self) -> None:
         self._charge("p9_rpc", self.p.p9_rpc_ns * self.p.p9_rpcs_per_meta_op)
+
+    # -- serverless control plane ---------------------------------------------------
+
+    def faas_route(self) -> None:
+        """Routing a request to an already-warm instance."""
+        self._charge("faas_route", self.p.faas_route_ns)
+
+    def faas_cold_start(self) -> None:
+        """The cold-start penalty scale-down trades for density (§6.5)."""
+        self._charge("faas_cold_start", self.p.faas_cold_start_ns)
 
     # -- console / network ---------------------------------------------------------
 

@@ -1,0 +1,350 @@
+"""Deterministic discrete-event scheduler: the concurrency substrate.
+
+Everything concurrent in the simulation — interleaved attach pipelines,
+two VMs' virtqueues draining side by side, a serverless autoscaler
+racing a debugger — runs on this scheduler.  It is a classic
+discrete-event core (gem5-style) built for *replayability*:
+
+* **Priority queue of timed events.**  Each entry is keyed by
+  ``(time_ns, priority, tiebreak, seq)``.  ``tiebreak`` is drawn from a
+  seed-derived :mod:`repro.sim.rng` stream, so events scheduled for the
+  *same* instant execute in a seed-determined order rather than in
+  insertion order: changing the seed explores a different (but still
+  exactly reproducible) interleaving, which is what makes the chaos
+  suite's concurrency coverage meaningful.  ``seq`` is a monotonic
+  counter that makes every key unique, so heap comparisons never fall
+  through to the callbacks.
+* **The existing virtual** :class:`~repro.sim.clock.Clock` **is the
+  time source.**  The scheduler never moves time backwards: an event's
+  callback may itself charge costs (advancing the clock inline), and a
+  later-queued event that is now "in the past" simply runs at the
+  current time.  All pre-scheduler ``clock.advance()`` call sites keep
+  working unchanged.
+* **Cooperative tasks, no threads.**  A :class:`Task` wraps a plain
+  generator.  Yield protocol:
+
+  - ``yield`` / ``yield "label"`` — reschedule cooperatively at the
+    current time (other ready events may run in between);
+  - ``yield <int ns>`` — sleep that many virtual nanoseconds;
+  - ``yield <Waitable>`` — park until the waitable completes; the
+    waitable's result becomes the value of the ``yield`` expression,
+    its error is re-raised inside the generator.
+
+  No wall clock, no threads, no OS scheduler: the interleaving is a
+  pure function of (event times, priorities, seed), which is why two
+  runs with the same seed produce bit-identical :class:`Event` streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim import rng as simrng
+from repro.sim.clock import Clock
+
+
+class SchedulerError(RuntimeError):
+    """Misuse of the scheduler (bad yield, nested run, runaway loop)."""
+
+
+class Waitable:
+    """A one-shot completion a task can ``yield`` on."""
+
+    def __init__(self) -> None:
+        self._done = False
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Waitable"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    def result(self) -> Any:
+        """The completion value; re-raises the stored error, if any."""
+        if not self._done:
+            raise SchedulerError("waitable has not completed")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def add_done_callback(self, fn: Callable[["Waitable"], None]) -> None:
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _finish(self, result: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        if self._done:
+            raise SchedulerError("waitable completed twice")
+        self._done = True
+        self._result = result
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Completion(Waitable):
+    """Externally-settable :class:`Waitable` (a one-shot event/future)."""
+
+    def set(self, result: Any = None) -> None:
+        if not self._done:
+            self._finish(result=result)
+
+    def fail(self, error: BaseException) -> None:
+        if not self._done:
+            self._finish(error=error)
+
+
+class Timer:
+    """Handle for one scheduled event; ``cancel()`` elides it."""
+
+    __slots__ = ("time_ns", "label", "fn", "cancelled", "fired")
+
+    def __init__(self, time_ns: int, fn: Callable[[], None], label: str):
+        self.time_ns = time_ns
+        self.label = label
+        self.fn = fn
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "armed")
+        return f"Timer({self.label!r} @ {self.time_ns} ns, {state})"
+
+
+class PeriodicTimer:
+    """Fires ``fn`` every ``period_ns`` until cancelled (drift-free)."""
+
+    def __init__(self, sched: "Scheduler", period_ns: int,
+                 fn: Callable[[], None], label: str):
+        if period_ns <= 0:
+            raise SchedulerError("periodic timer needs a positive period")
+        self._sched = sched
+        self.period_ns = period_ns
+        self.fn = fn
+        self.label = label
+        self.cancelled = False
+        self.fire_count = 0
+        self._arm(sched.clock.now + period_ns)
+
+    def _arm(self, when_ns: int) -> None:
+        self._timer = self._sched.at(when_ns, self._fire, label=self.label)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        due = self._timer.time_ns
+        self.fire_count += 1
+        self.fn()
+        if not self.cancelled:
+            # Next fire is period-aligned to the *due* time, not to
+            # whenever fn() finished charging costs (at() clamps to now).
+            self._arm(due + self.period_ns)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self._timer.cancel()
+
+
+class Task(Waitable):
+    """A cooperative generator task driven by the scheduler."""
+
+    def __init__(self, sched: "Scheduler", gen: Generator, label: str):
+        super().__init__()
+        self._sched = sched
+        self._gen = gen
+        self.label = label
+        self.steps = 0
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Close the generator; waiters see a result of ``None``."""
+        if self._done:
+            return
+        self.cancelled = True
+        self._gen.close()
+        self._finish(result=None)
+
+    def _step(self, value: Any = None,
+              throw: Optional[BaseException] = None) -> None:
+        if self._done:
+            return
+        self.steps += 1
+        try:
+            if throw is not None:
+                yielded = self._gen.throw(throw)
+            else:
+                yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except BaseException as exc:
+            self._finish(error=exc)
+            return
+        self._park(yielded)
+
+    def _park(self, yielded: Any) -> None:
+        sched = self._sched
+        if yielded is None or isinstance(yielded, str):
+            label = yielded if isinstance(yielded, str) else self.label
+            sched.after(0, self._step, label=label)
+        elif isinstance(yielded, bool):
+            raise SchedulerError(f"task {self.label!r} yielded a bool")
+        elif isinstance(yielded, int):
+            if yielded < 0:
+                raise SchedulerError(
+                    f"task {self.label!r} yielded a negative sleep"
+                )
+            sched.after(yielded, self._step, label=self.label)
+        elif isinstance(yielded, Waitable):
+            yielded.add_done_callback(self._resume_from)
+        else:
+            raise SchedulerError(
+                f"task {self.label!r} yielded unsupported {yielded!r}"
+            )
+
+    def _resume_from(self, waitable: Waitable) -> None:
+        if waitable.error is not None:
+            self._sched.after(
+                0, lambda: self._step(throw=waitable.error), label=self.label
+            )
+        else:
+            self._sched.after(
+                0, lambda: self._step(waitable._result), label=self.label
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "running"
+        return f"Task({self.label!r}, {state}, steps={self.steps})"
+
+
+class Scheduler:
+    """Deterministic discrete-event loop over a virtual clock."""
+
+    def __init__(self, clock: Optional[Clock] = None, label: str = "sched",
+                 master_seed: int = simrng.MASTER_SEED):
+        self.clock = clock if clock is not None else Clock()
+        self.label = label
+        self._tiebreak = simrng.stream(f"sched:{label}", master_seed)
+        self._heap: List[Tuple[int, int, int, int, Timer]] = []
+        self._seq = itertools.count()
+        #: True while an event loop (run_until_idle/run_until/run) is
+        #: dispatching — the flag :meth:`HostKernel.wakeup` gates on.
+        self.running = False
+        #: total events dispatched over the scheduler's lifetime
+        self.events_run = 0
+
+    # -- scheduling primitives ------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    def pending(self) -> int:
+        """Events still queued (cancelled entries included until popped)."""
+        return len(self._heap)
+
+    def at(self, time_ns: int, fn: Callable[[], None],
+           label: str = "event", priority: int = 0) -> Timer:
+        """Schedule ``fn`` at absolute virtual time ``time_ns``.
+
+        Times in the past are clamped to *now* — the clock never runs
+        backwards.  Ties on (time, priority) are broken by a
+        seed-derived random draw, then by insertion order.
+        """
+        when = max(time_ns, self.clock.now)
+        timer = Timer(when, fn, label)
+        heapq.heappush(
+            self._heap,
+            (when, priority, self._tiebreak.getrandbits(32), next(self._seq), timer),
+        )
+        return timer
+
+    def after(self, delta_ns: int, fn: Callable[[], None],
+              label: str = "event", priority: int = 0) -> Timer:
+        return self.at(self.clock.now + delta_ns, fn, label=label, priority=priority)
+
+    def call_soon(self, fn: Callable[[], None], label: str = "event") -> Timer:
+        return self.after(0, fn, label=label)
+
+    def every(self, period_ns: int, fn: Callable[[], None],
+              label: str = "timer") -> PeriodicTimer:
+        return PeriodicTimer(self, period_ns, fn, label)
+
+    def spawn(self, gen: Generator, label: str = "task") -> Task:
+        """Wrap a generator into a :class:`Task`; first step runs soon."""
+        task = Task(self, gen, label)
+        self.call_soon(task._step, label=f"start:{label}")
+        return task
+
+    # -- event loops ----------------------------------------------------------
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Dispatch events until the queue empties; returns the count."""
+        return self._loop(lambda: bool(self._heap), max_events)
+
+    def run_until(self, deadline_ns: int, max_events: int = 1_000_000) -> int:
+        """Dispatch events due up to ``deadline_ns``, then land there."""
+        ran = self._loop(
+            lambda: bool(self._heap) and self._heap[0][0] <= deadline_ns,
+            max_events,
+        )
+        if self.clock.now < deadline_ns:
+            self.clock.advance(deadline_ns - self.clock.now)
+        return ran
+
+    def run(self, *waitables: Waitable, max_events: int = 1_000_000) -> List[Any]:
+        """Dispatch until every given waitable completes.
+
+        Returns their results in order (errors re-raise).  Raises if
+        the queue drains with a waitable still pending — a deadlocked
+        task, usually one parked on a completion nobody will set.
+        """
+        outstanding = lambda: any(not w.done for w in waitables)  # noqa: E731
+        self._loop(lambda: outstanding() and bool(self._heap), max_events)
+        if outstanding():
+            stuck = [w for w in waitables if not w.done]
+            raise SchedulerError(
+                f"scheduler went idle with {len(stuck)} waitable(s) pending: "
+                + ", ".join(getattr(w, "label", repr(w)) for w in stuck)
+            )
+        return [w.result() for w in waitables]
+
+    def _loop(self, keep_going: Callable[[], bool], max_events: int) -> int:
+        if self.running:
+            raise SchedulerError("scheduler loop is already running")
+        self.running = True
+        ran = 0
+        try:
+            while keep_going():
+                if ran >= max_events:
+                    raise SchedulerError(
+                        f"scheduler exceeded {max_events} events (runaway loop?)"
+                    )
+                ran += self._dispatch_next()
+            return ran
+        finally:
+            self.running = False
+
+    def _dispatch_next(self) -> int:
+        time_ns, _prio, _tb, _seq, timer = heapq.heappop(self._heap)
+        if timer.cancelled:
+            return 0
+        if time_ns > self.clock.now:
+            self.clock.advance(time_ns - self.clock.now)
+        timer.fired = True
+        self.events_run += 1
+        timer.fn()
+        return 1

@@ -21,8 +21,10 @@ from repro.hypervisors.flavors import (
     Qemu,
 )
 from repro.kvm.api import KvmSystem
+from repro.sim import rng as simrng
 from repro.sim.clock import Clock
 from repro.sim.costs import CostModel, CostParams
+from repro.sim.sched import Scheduler
 from repro.sim.trace import Tracer
 from repro.units import GiB, MiB
 
@@ -38,6 +40,7 @@ class Testbed:
         cost_params: Optional[CostParams] = None,
         trace: bool = False,
         arch: str = "x86_64",
+        seed: Optional[int] = None,
     ):
         from repro.arch import arch_by_name
 
@@ -45,6 +48,16 @@ class Testbed:
         self.costs = CostModel(self.clock, cost_params)
         self.tracer = Tracer(self.clock) if trace else None
         self.host = HostKernel(self.clock, self.costs, self.tracer)
+        #: discrete-event scheduler sharing the testbed clock.  Inert
+        #: until one of its run loops is entered, so every synchronous
+        #: entry point behaves exactly as before; ``seed`` drives the
+        #: same-time tie-breaking (defaults to the master seed).
+        self.scheduler = Scheduler(
+            self.clock,
+            label="testbed",
+            master_seed=seed if seed is not None else simrng.MASTER_SEED,
+        )
+        self.host.scheduler = self.scheduler
         self.arch = arch_by_name(arch)
         self.host.arch = self.arch
         self.kvm = KvmSystem(

@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.vmsh import Vmsh, VmshSession
 from repro.errors import VmshError
 from repro.guestos.process import Credentials, GuestProcess
 from repro.hypervisors.flavors import Firecracker
 from repro.image.builder import build_serverless_debug_image
+from repro.sim.sched import PeriodicTimer, Scheduler
 from repro.testbed import Testbed
 from repro.units import MSEC, SEC
 
@@ -65,6 +66,7 @@ class VHivePlatform:
         self._instances: Dict[str, LambdaInstance] = {}
         self._instance_counter = itertools.count(1)
         self.logs: List[LogLine] = []
+        self._autoscaler: Optional[PeriodicTimer] = None
 
     # -- deployment / invocation --------------------------------------------------
 
@@ -75,9 +77,39 @@ class VHivePlatform:
         """Invoke a function; errors are logged, not raised (FaaS-style)."""
         if name not in self._functions:
             raise VmshError(f"function {name!r} is not deployed")
-        instance = self._instance_for(name)
+        instance, cold = self._instance_for(name)
         instance.last_used_ns = self.testbed.clock.now
-        self.testbed.clock.advance(3 * MSEC)  # request routing + startup
+        # A request that lands on a scaled-down function pays the full
+        # microVM boot + handler init, not just routing — the latency
+        # cliff scale-down trades for density (§6.5).
+        if cold:
+            self.testbed.costs.faas_cold_start()
+        self.testbed.costs.faas_route()
+        return self._execute(instance, name, payload)
+
+    def invoke_task(self, name: str, payload: dict):
+        """Cooperative :meth:`invoke` for scheduler tasks (a generator).
+
+        Cold-start and routing delays become timed yields, so a storm
+        of concurrent invocations across N microVMs interleaves — and
+        the autoscaler timer can fire in between.  The task's result is
+        the handler's result (or ``None`` on a logged error).
+        """
+        if name not in self._functions:
+            raise VmshError(f"function {name!r} is not deployed")
+        instance, cold = self._instance_for(name)
+        instance.last_used_ns = self.testbed.clock.now
+        costs = self.testbed.costs
+        if cold:
+            costs.bump("faas_cold_start")
+            yield costs.p.faas_cold_start_ns
+        costs.bump("faas_route")
+        yield costs.p.faas_route_ns
+        instance.last_used_ns = self.testbed.clock.now
+        return self._execute(instance, name, payload)
+
+    def _execute(self, instance: LambdaInstance, name: str,
+                 payload: dict) -> Optional[dict]:
         self._log(instance, "INFO", f"invoke {name} payload_keys={sorted(payload)}")
         try:
             result = self._functions[name](payload)
@@ -89,10 +121,16 @@ class VHivePlatform:
         self._log(instance, "INFO", "invoke ok")
         return result
 
-    def _instance_for(self, name: str) -> LambdaInstance:
+    def _instance_for(self, name: str) -> Tuple[LambdaInstance, bool]:
+        """The warm instance for ``name``, or a cold-booted one.
+
+        Returns ``(instance, cold)`` — callers charge the cold-start
+        penalty, because how the delay is paid differs between the
+        synchronous and the cooperative invoke paths.
+        """
         for instance in self._instances.values():
             if instance.function == name and not instance.terminated:
-                return instance
+                return instance, False
         # Cold start: boot a slim Firecracker microVM for the function.
         hv = self.testbed.launch_firecracker(seccomp=False)
         lambda_proc = GuestProcess(
@@ -111,7 +149,7 @@ class VHivePlatform:
         )
         self._instances[instance.instance_id] = instance
         self._log(instance, "INFO", f"cold start for {name} (vmm pid {hv.pid})")
-        return instance
+        return instance, True
 
     def _log(self, instance: LambdaInstance, level: str, message: str) -> None:
         self.logs.append(
@@ -119,6 +157,26 @@ class VHivePlatform:
         )
 
     # -- scale-down -------------------------------------------------------------------
+
+    def start_autoscaler(self, scheduler: Scheduler,
+                         period_ns: int = SEC) -> PeriodicTimer:
+        """Run :meth:`scale_down` on a timer — the fleet control loop.
+
+        This is what the paper's debug path races against: while a
+        shell is being attached, the next tick may scale the instance
+        down unless the debugger pinned it first.
+        """
+        if self._autoscaler is not None and not self._autoscaler.cancelled:
+            raise VmshError("autoscaler is already running")
+        self._autoscaler = scheduler.every(
+            period_ns, self.scale_down, label="autoscaler"
+        )
+        return self._autoscaler
+
+    def stop_autoscaler(self) -> None:
+        if self._autoscaler is not None:
+            self._autoscaler.cancel()
+            self._autoscaler = None
 
     def scale_down(self) -> List[str]:
         """Terminate idle instances — unless pinned by a debug session."""
@@ -187,6 +245,36 @@ class ServerlessDebugger:
                 command="/bin/sh",
             )
         except Exception:
+            instance.pinned = False
+            raise
+        return DebugSession(instance=instance, session=session, error_log=error)
+
+    def debug_shell_task(self, **attach_kwargs):
+        """Cooperative :meth:`debug_shell` for scheduler tasks.
+
+        The attach pipeline's step boundaries become yield points, so
+        the autoscaler timer and the rest of the fleet keep running
+        while the shell is brought up — the §6.5 race, made explicit.
+        The instance is pinned *before* the first yield: a scale-down
+        tick firing mid-attach skips it.
+        """
+        error = self.find_faulty_instance()
+        if error is None:
+            raise VmshError("no lambda errors in the platform logs")
+        instance = self.platform.instance(error.instance_id)
+        if instance.terminated:
+            raise VmshError(
+                f"instance {instance.instance_id} already scaled down — too late"
+            )
+        instance.pinned = True
+        try:
+            session = yield from self.vmsh.attach_task(
+                instance.hypervisor.pid,
+                image=build_serverless_debug_image(),
+                command="/bin/sh",
+                **attach_kwargs,
+            )
+        except BaseException:
             instance.pinned = False
             raise
         return DebugSession(instance=instance, session=session, error_log=error)

@@ -405,6 +405,32 @@ class GuestVirtioBlkDisk(BlockDevice):
             ops.append((C.VIRTIO_BLK_T_OUT, sector, len(data), data))
         self._run_queued(ops)
 
+    def read_sectors_queued_task(self, requests):
+        """Cooperative :meth:`read_sectors_queued` for scheduler tasks.
+
+        Completions are still harvested by polling the used ring, but
+        between polls the task yields — so when the device host is
+        serviced by a scheduler task (possibly in another VM's
+        session), submission and completion interleave with the rest
+        of the fleet instead of spinning the whole harvest inline.
+        """
+        ops = []
+        for sector, count in requests:
+            self._check(sector, count)
+            ops.append((C.VIRTIO_BLK_T_IN, sector, count * SECTOR_SIZE, None))
+        results = yield from self._run_queued_task(ops)
+        return results
+
+    def write_sectors_queued_task(self, requests):
+        """Cooperative :meth:`write_sectors_queued` for scheduler tasks."""
+        ops = []
+        for sector, data in requests:
+            if len(data) % SECTOR_SIZE:
+                raise VirtioError("write must be sector aligned")
+            self._check(sector, len(data) // SECTOR_SIZE)
+            ops.append((C.VIRTIO_BLK_T_OUT, sector, len(data), data))
+        yield from self._run_queued_task(ops)
+
     def _run_queued(self, ops) -> List[bytes]:
         depth = self.iodepth
         slot_bytes = (self._data_pool_bytes // depth) & ~4095
@@ -414,8 +440,32 @@ class GuestVirtioBlkDisk(BlockDevice):
                                 slot_bytes, results)
         return results
 
+    def _run_queued_task(self, ops):
+        depth = self.iodepth
+        slot_bytes = (self._data_pool_bytes // depth) & ~4095
+        results: List[bytes] = [b""] * len(ops)
+        for start in range(0, len(ops), depth):
+            inflight = self._post_window(start, ops[start : start + depth],
+                                         slot_bytes)
+            while inflight:
+                self._harvest(self.ring.collect_used(), inflight, results)
+                if inflight:
+                    # The device host's service task has not reached
+                    # this queue yet; let other events run.
+                    yield f"{self.name}:harvest"
+        return results
+
     def _submit_window(self, ops, start, window, slot_bytes, results) -> None:
-        """Submit one in-flight window, kick, then harvest it whole.
+        """Submit one in-flight window, kick, then harvest it whole."""
+        inflight = self._post_window(start, window, slot_bytes)
+        self._harvest(self.ring.collect_used(), inflight, results)
+        if inflight:
+            raise VirtioError(
+                f"{self.name}: {len(inflight)} queued request(s) did not complete"
+            )
+
+    def _post_window(self, start, window, slot_bytes) -> dict:
+        """Submit one in-flight window and kick.
 
         Without EVENT_IDX the driver must assume the device only looks
         at the queue when kicked, so every chain rings the doorbell (the
@@ -460,7 +510,10 @@ class GuestVirtioBlkDisk(BlockDevice):
             if costs is not None and len(window) > 1:
                 # Doorbells the in-flight window deferred into one kick.
                 costs.virtio_kick_suppressed(len(window) - 1)
-        completions = self.ring.collect_used()
+        return inflight
+
+    def _harvest(self, completions, inflight, results) -> None:
+        memory = self.kernel.memory
         for head, _written in completions:
             entry = inflight.pop(head, None)
             if entry is None:
@@ -469,10 +522,6 @@ class GuestVirtioBlkDisk(BlockDevice):
             self._check_status(status_gpa)
             if writable:
                 results[index] = memory.read(data_gpa, nbytes)
-        if inflight:
-            raise VirtioError(
-                f"{self.name}: {len(inflight)} queued request(s) did not complete"
-            )
 
     def _check_status(self, status_gpa: int) -> None:
         status = self.kernel.memory.read(status_gpa, 1)[0]

@@ -60,6 +60,9 @@ class VirtioMmioDevice:
         self.status = 0
         self.interrupt_status = 0
         self.driver_features = 0
+        # When set, QUEUE_NOTIFY kicks are routed here instead of being
+        # processed inline (a device-host service task installs itself).
+        self._kick_sink: Optional[Callable[[int], None]] = None
 
     @property
     def event_idx(self) -> bool:
@@ -127,7 +130,10 @@ class VirtioMmioDevice:
                 queue.ready = False
                 queue.ring = None
         elif offset == C.REG_QUEUE_NOTIFY:
-            self.process_queue(value)
+            if self._kick_sink is not None:
+                self._kick_sink(value)
+            else:
+                self.process_queue(value)
         elif offset == C.REG_INTERRUPT_ACK:
             self.interrupt_status &= ~value
         elif offset == C.REG_STATUS:
@@ -138,6 +144,16 @@ class VirtioMmioDevice:
             raise VirtioError(f"{self.name}: write of unknown register {offset:#x}")
 
     # -- device behaviour hooks ------------------------------------------------------
+
+    def defer_kicks(self, sink: Optional[Callable[[int], None]]) -> None:
+        """Route QUEUE_NOTIFY kicks to ``sink`` (``None`` restores inline).
+
+        The MMIO write (and its VMEXIT cost) still happens on the
+        guest's path; only the queue *servicing* moves to whoever owns
+        the sink — which is what lets two VMs' devices drain
+        interleaved under the event scheduler.
+        """
+        self._kick_sink = sink
 
     def process_queue(self, index: int) -> None:
         """Handle a QUEUE_NOTIFY for queue ``index``."""

@@ -144,3 +144,103 @@ def test_debug_shell_too_late_after_scale_down():
     platform.scale_down()
     with pytest.raises(VmshError, match="scaled down"):
         ServerlessDebugger(platform).debug_shell()
+
+
+# -- warm vs cold invocation cost -------------------------------------------------
+
+
+def test_cold_invoke_charges_cold_start():
+    tb, platform = _platform()
+    platform.invoke("resize", {"width": 1})
+    assert tb.costs.count("faas_cold_start") == 1
+    assert tb.costs.count("faas_route") == 1
+
+
+def test_warm_invoke_skips_cold_start():
+    tb, platform = _platform()
+    platform.invoke("resize", {"width": 1})
+    t_warm = tb.clock.now
+    platform.invoke("resize", {"width": 2})
+    warm_latency = tb.clock.now - t_warm
+    assert tb.costs.count("faas_cold_start") == 1   # only the first
+    assert tb.costs.count("faas_route") == 2
+    # A warm hit is routing-only — far cheaper than the cold path.
+    assert warm_latency < tb.costs.p.faas_cold_start_ns
+    assert warm_latency >= tb.costs.p.faas_route_ns
+
+
+def test_cold_invoke_is_slower_than_warm():
+    tb, platform = _platform()
+    t0 = tb.clock.now
+    platform.invoke("resize", {"width": 1})
+    cold_latency = tb.clock.now - t0
+    t1 = tb.clock.now
+    platform.invoke("resize", {"width": 2})
+    warm_latency = tb.clock.now - t1
+    assert cold_latency > warm_latency
+    assert cold_latency >= tb.costs.p.faas_cold_start_ns
+
+
+def test_scale_down_then_invoke_pays_cold_start_again():
+    tb, platform = _platform()
+    platform.invoke("resize", {"width": 1})
+    tb.clock.advance(3 * SEC)
+    platform.scale_down()
+    platform.invoke("resize", {"width": 2})
+    assert tb.costs.count("faas_cold_start") == 2
+
+
+# -- scheduler-driven fleet -------------------------------------------------------
+
+
+def test_invoke_task_matches_sync_costs():
+    tb, platform = _platform()
+    results = []
+
+    def storm():
+        first = yield from platform.invoke_task("resize", {"width": 1})
+        results.append(first)
+        second = yield from platform.invoke_task("resize", {"width": 2})
+        results.append(second)
+
+    tb.scheduler.spawn(storm())
+    tb.scheduler.run_until_idle()
+    assert results == [{"ok": 2}, {"ok": 4}]
+    assert tb.costs.count("faas_cold_start") == 1
+    assert tb.costs.count("faas_route") == 2
+
+
+def test_autoscaler_timer_scales_down_idle_instance():
+    tb, platform = _platform()
+    platform.invoke("resize", {"width": 1})
+    platform.start_autoscaler(tb.scheduler, period_ns=SEC)
+    tb.scheduler.run_until(tb.clock.now + 5 * SEC)
+    assert platform.live_instances() == []
+    assert any("scaled down" in l.message for l in platform.logs)
+    platform.stop_autoscaler()
+
+
+def test_autoscaler_rejects_double_start():
+    tb, platform = _platform()
+    platform.start_autoscaler(tb.scheduler)
+    with pytest.raises(VmshError, match="already running"):
+        platform.start_autoscaler(tb.scheduler)
+    platform.stop_autoscaler()
+    platform.start_autoscaler(tb.scheduler)  # restart after stop is fine
+    platform.stop_autoscaler()
+
+
+def test_debug_shell_task_races_autoscaler_and_wins():
+    tb, platform = _platform()
+    platform.invoke("resize", {"bad": 1})
+    platform.start_autoscaler(tb.scheduler, period_ns=SEC)
+    debugger = ServerlessDebugger(platform)
+    task = tb.scheduler.spawn(debugger.debug_shell_task(), label="debug-shell")
+    # Let the attach interleave with several scale-down ticks.
+    tb.scheduler.run_until(tb.clock.now + 10 * SEC)
+    (session,) = tb.scheduler.run(task)
+    assert not session.instance.terminated      # pinned before first yield
+    out = session.session.console.run_command("cat /etc/motd")
+    assert "debug shell" in out.output
+    platform.stop_autoscaler()
+    session.close()
