@@ -16,6 +16,10 @@ Run from the repo root::
 * ``--pr 4`` — fleet scaling on the discrete-event scheduler: fleet
   size x concurrent attaches (``test_fleet_scaling.py``), plus the
   depth-1 Fig. 5 ordering check.
+* ``--pr 5`` — observability spine: the canonical observed fleet run's
+  span/metric counts sourced from the registry snapshot, export sizes,
+  trace-event schema validation, and same-seed byte-identity digests
+  for both exports.
 """
 
 from __future__ import annotations
@@ -151,7 +155,94 @@ def payload_pr4() -> dict:
     }
 
 
-EMITTERS = {3: payload_pr3, 4: payload_pr4}
+def payload_pr5() -> dict:
+    import hashlib
+
+    from repro.bench.fleet_obs import (
+        FLEET_SIZE,
+        IO_DEPTH,
+        IO_SECTORS,
+        run_observed_fleet,
+    )
+    from repro.obs.export import validate_trace_events
+    from repro.sim import rng as simrng
+
+    def digest(text: str) -> str:
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def counter_total(snap: dict, name: str) -> int:
+        return sum(
+            v["value"] for k, v in snap.items()
+            if k.split("{")[0] == name and v["kind"] == "counter"
+        )
+
+    seed = simrng.MASTER_SEED
+    tb = run_observed_fleet(seed)
+    metrics_json = tb.obs.metrics_json()
+    trace_json = tb.obs.perfetto_json()
+    prom_text = tb.obs.prometheus()
+    snap = tb.obs.metrics_snapshot()
+    recorder = tb.obs.spans
+    latency = tb.obs.metrics.scope("attach").histogram("latency_ns")
+
+    # Replay under the same seed: both exports must be byte-identical.
+    replay = run_observed_fleet(seed)
+    problems = validate_trace_events(json.loads(trace_json))
+
+    return {
+        "pr": 5,
+        "title": "Observability spine: span-scoped tracing, hierarchical "
+                 "metrics registry, Perfetto/Prometheus export",
+        "workload": f"{FLEET_SIZE}-VM observed fleet: interleaved attaches, "
+                    f"queued I/O ({IO_SECTORS} sectors, iodepth {IO_DEPTH}), "
+                    "a rolled-back attach, an agent-less monitor watch",
+        "seed": seed,
+        "spans": {
+            "recorded": len(recorder.spans),
+            "dropped": recorder.dropped_spans,
+            "tracks": len(recorder.tracks()),
+            "attach_steps": len(recorder.find("attach.step")),
+            "sched_turns": len(recorder.find("sched.turn")),
+            "blk_windows": len(recorder.find("blk.window")),
+            "rollbacks": len(recorder.find("txn.rollback")),
+        },
+        "metrics": {
+            "series": len(snap),
+            "events_dispatched": counter_total(snap, "sched.events_dispatched"),
+            "vm_exits": counter_total(snap, "kvm.vmexits"),
+            "host_syscalls": counter_total(snap, "host.syscalls"),
+            "vring_interrupts_delivered": counter_total(
+                snap, "vring.interrupts_delivered"
+            ),
+            "vring_interrupts_suppressed": counter_total(
+                snap, "vring.interrupts_suppressed"
+            ),
+            "txn_commits": counter_total(snap, "txn.commits"),
+            "txn_rollbacks": counter_total(snap, "txn.rollbacks"),
+        },
+        "attach_latency_ns": {
+            "count": latency.count,
+            "mean": round(latency.sum / latency.count, 1) if latency.count else 0,
+            "max": max(latency.samples) if latency.samples else 0,
+        },
+        "export_bytes": {
+            "metrics_json": len(metrics_json),
+            "perfetto_json": len(trace_json),
+            "prometheus": len(prom_text),
+        },
+        "headline": {
+            "metrics_snapshot_deterministic":
+                metrics_json == replay.obs.metrics_json(),
+            "perfetto_trace_deterministic":
+                trace_json == replay.obs.perfetto_json(),
+            "trace_event_schema_problems": len(problems),
+            "metrics_sha256": digest(metrics_json)[:16],
+            "trace_sha256": digest(trace_json)[:16],
+        },
+    }
+
+
+EMITTERS = {3: payload_pr3, 4: payload_pr4, 5: payload_pr5}
 
 
 def main(argv=None) -> None:

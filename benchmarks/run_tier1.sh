@@ -25,3 +25,8 @@ PYTHONPATH=src python -m pytest -q \
 # (emit.py takes the PR number; --out overrides the default path).
 PYTHONPATH=src python benchmarks/emit.py --pr 3
 PYTHONPATH=src python benchmarks/emit.py --pr 4
+PYTHONPATH=src python benchmarks/emit.py --pr 5
+
+# Observability exports: the Perfetto trace of the canonical observed
+# fleet run must pass the trace-event schema check.
+PYTHONPATH=src python -m repro trace --out benchmarks/results/fleet-trace.json --validate

@@ -59,6 +59,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_attach.add_argument("-c", "--commands", action="append", default=[],
                           help="command(s) to run on the console")
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="dump a Perfetto trace of an observed fleet run "
+             "(load the file in ui.perfetto.dev)",
+    )
+    p_trace.add_argument("--seed", type=lambda s: int(s, 0), default=None,
+                         help="master seed (default: the repo's pinned seed)")
+    p_trace.add_argument("--fleet", type=int, default=8,
+                         help="number of VMs to launch (default 8)")
+    p_trace.add_argument("--out", default="vmsh-trace.json",
+                         help="output path (default vmsh-trace.json)")
+    p_trace.add_argument("--validate", action="store_true",
+                         help="check the output against the trace-event "
+                              "schema; non-zero exit on problems")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="dump the metrics registry of an observed fleet run"
+    )
+    p_metrics.add_argument("--seed", type=lambda s: int(s, 0), default=None,
+                           help="master seed (default: the repo's pinned seed)")
+    p_metrics.add_argument("--fleet", type=int, default=8,
+                           help="number of VMs to launch (default 8)")
+    p_metrics.add_argument("--format", choices=("prom", "json"), default="prom",
+                           help="Prometheus text or JSON snapshot")
+    p_metrics.add_argument("--out", default=None,
+                           help="output path (default: stdout)")
+
     sub.add_parser("generality", help="Table 1: hypervisor + kernel matrix")
     p_xfs = sub.add_parser("xfstests", help="E1: run the xfstests comparison")
     p_xfs.add_argument("--quick", action="store_true", help="every 8th test only")
@@ -125,6 +152,51 @@ def _cmd_attach(args: argparse.Namespace) -> int:
         print(f"$ {command}")
         for line in result.output.splitlines():
             print(f"  {line}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.bench.fleet_obs import run_observed_fleet
+    from repro.obs.export import validate_trace_events
+
+    tb = run_observed_fleet(seed=args.seed, fleet_size=args.fleet)
+    payload = tb.obs.perfetto_json()
+    out = pathlib.Path(args.out)
+    out.write_text(payload)
+    recorder = tb.obs.spans
+    print(f"wrote {out} ({len(payload)} bytes, {len(recorder.spans)} spans "
+          f"on {len(recorder.tracks())} tracks)")
+    print("open it at https://ui.perfetto.dev (Open trace file)")
+    if args.validate:
+        problems = validate_trace_events(json.loads(payload))
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print("trace-event schema: ok")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.bench.fleet_obs import run_observed_fleet
+
+    tb = run_observed_fleet(seed=args.seed, fleet_size=args.fleet)
+    if args.format == "json":
+        payload = tb.obs.metrics_json()
+    else:
+        payload = tb.obs.prometheus()
+    if args.out is None:
+        sys.stdout.write(payload)
+    else:
+        import pathlib
+
+        out = pathlib.Path(args.out)
+        out.write_text(payload)
+        print(f"wrote {out} ({len(payload)} bytes, "
+              f"{len(tb.obs.metrics_snapshot())} series)")
     return 0
 
 

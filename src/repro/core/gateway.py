@@ -44,20 +44,33 @@ class GuestMemoryGateway:
         hypervisor_pid: int,
         memslot_records: List,
         arch: Arch = X86_64,
+        metrics=None,
     ):
         self.kernel = kernel
         self.vmsh_thread = vmsh_thread
         self.hypervisor_pid = hypervisor_pid
         self.arch = arch
+        # Registry scope for this gateway's counters.  The session id
+        # comes from the per-hub id stream so a re-attach to the same
+        # VM gets a fresh subtree (fresh = zeroed AttachReport stats)
+        # while staying byte-identical across same-seed runs.
+        if metrics is None:
+            metrics = kernel.obs.metrics.scope(
+                "gateway",
+                vm=hypervisor_pid,
+                session=kernel.obs.next_id("gateway"),
+            )
+        self.metrics = metrics
+        self._m_tlb_hits = metrics.counter("tlb_hits")
+        self._m_tlb_misses = metrics.counter("tlb_misses")
         self.translator = GpaTranslator(memslot_records)
         self.phys = RemoteProcessAccessor(
             kernel, vmsh_thread, hypervisor_pid, self.translator
         )
+        self.phys.stats.bind(metrics.scope("phys"))
         self.walker = arch.walker(self.phys.read_u64)
         self.cr3 = 0
         self._tlb: Dict[int, int] = {}      # vpage base -> page-frame paddr
-        self.tlb_hits = 0
-        self.tlb_misses = 0
 
     def refresh_memslots(self, memslot_records: List) -> None:
         """Re-snapshot after VMSH adds its own memslot."""
@@ -84,11 +97,11 @@ class GuestMemoryGateway:
         vpage = vaddr & ~(PAGE_SIZE - 1)
         base = self._tlb.get(vpage)
         if base is None:
-            self.tlb_misses += 1
+            self._m_tlb_misses.inc()
             base = self.walker.translate(self.cr3, vpage).paddr
             self._tlb[vpage] = base         # faults propagate, never cached
         else:
-            self.tlb_hits += 1
+            self._m_tlb_hits.inc()
         return base + (vaddr - vpage)
 
     def is_mapped(self, vaddr: int) -> bool:
@@ -98,6 +111,24 @@ class GuestMemoryGateway:
             return True
         except PageFaultError:
             return False
+
+    # Legacy counter shims: the numbers live in the metrics registry.
+
+    @property
+    def tlb_hits(self) -> int:
+        return self._m_tlb_hits.value
+
+    @tlb_hits.setter
+    def tlb_hits(self, value: int) -> None:
+        self._m_tlb_hits.value = value
+
+    @property
+    def tlb_misses(self) -> int:
+        return self._m_tlb_misses.value
+
+    @tlb_misses.setter
+    def tlb_misses(self, value: int) -> None:
+        self._m_tlb_misses.value = value
 
     @property
     def tlb_hit_rate(self) -> float:

@@ -43,10 +43,22 @@ class UndoFailure:
 class AttachTransaction:
     """Undo stack + step bookkeeping for one ``_attach_once`` run."""
 
-    def __init__(self, host: Any, tracer: Any = None, label: str = "attach"):
+    def __init__(
+        self,
+        host: Any,
+        tracer: Any = None,
+        label: str = "attach",
+        track: Optional[str] = None,
+    ):
         self.host = host
         self.tracer = tracer if tracer is not None else host.tracer
         self.label = label
+        self.obs = getattr(host, "obs", None)
+        #: span track the step spans land on — the attach pipeline
+        #: passes its per-attempt track so steps nest under the attempt
+        #: span; standalone transactions get their own track.
+        self.track = track if track is not None else f"txn:{label}"
+        self._step_span: Any = None
         self._undo: List[UndoEntry] = []
         self.steps_completed: List[str] = []
         self.current_step: Optional[str] = None
@@ -66,6 +78,15 @@ class AttachTransaction:
         if self.current_step is not None:
             self.steps_completed.append(self.current_step)
         self.current_step = name
+        if self.obs is not None:
+            if self._step_span is not None:
+                self.obs.spans.end(self._step_span, status="ok")
+            # Open before the fault check: an injected fault leaves
+            # this span open, and rollback closes it with the failure —
+            # the Perfetto trace then shows exactly which step died.
+            self._step_span = self.obs.spans.begin(
+                "attach.step", track=self.track, step=name, **detail
+            )
         self.tracer.emit("txn", "step", txn=self.label, step=name, **detail)
         self.host.faults.check(f"attach.{name}")
 
@@ -99,6 +120,11 @@ class AttachTransaction:
             self.current_step = None
         self._undo.clear()
         self.finished = True
+        if self.obs is not None:
+            if self._step_span is not None:
+                self.obs.spans.end(self._step_span, status="ok")
+                self._step_span = None
+            self.obs.metrics.scope("txn").counter("commits").inc()
         self.tracer.emit(
             "txn", "commit", txn=self.label, steps=len(self.steps_completed)
         )
@@ -113,17 +139,35 @@ class AttachTransaction:
         """
         failed_step = self.current_step
         self.current_step = None
+        rollback_span = None
+        if self.obs is not None:
+            if self._step_span is not None:
+                self.obs.spans.end(self._step_span, status="failed")
+                self._step_span = None
+            rollback_span = self.obs.spans.begin(
+                "txn.rollback", track=self.track, failed_step=failed_step
+            )
+            self.obs.metrics.scope("txn").counter("rollbacks").inc()
         with self.host.faults.suspended():
             while self._undo:
                 entry = self._undo.pop()
                 if entry.discharged:
                     continue
+                undo_span = None
+                if self.obs is not None:
+                    undo_span = self.obs.spans.begin(
+                        "txn.undo", track=self.track, action=entry.label
+                    )
                 try:
                     entry.action()
+                    if undo_span is not None:
+                        self.obs.spans.end(undo_span, status="ok")
                     self.tracer.emit(
                         "txn", "undo", txn=self.label, action=entry.label
                     )
                 except Exception as err:  # noqa: BLE001 - must not mask cause
+                    if undo_span is not None:
+                        self.obs.spans.end(undo_span, status=type(err).__name__)
                     self.undo_failures.append(
                         UndoFailure(label=entry.label, error=err)
                     )
@@ -135,6 +179,10 @@ class AttachTransaction:
                         error=type(err).__name__,
                     )
         self.finished = True
+        if rollback_span is not None:
+            self.obs.spans.end(
+                rollback_span, undo_failures=len(self.undo_failures)
+            )
         self.tracer.emit(
             "txn",
             "rollback",

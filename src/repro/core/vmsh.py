@@ -271,6 +271,15 @@ class VmshSession:
             argv = argv.split()
         return self.device_host.exec_device.submit(list(argv))
 
+    def exec_task(self, argv):
+        """Cooperative :meth:`exec` for scheduler tasks (a generator)."""
+        if self.device_host.exec_device is None:
+            raise VmshError("session was attached without exec_device=True")
+        if isinstance(argv, str):
+            argv = argv.split()
+        result = yield from self.device_host.exec_device.submit_task(list(argv))
+        return result
+
     def detach(self) -> None:
         """Release the hypervisor and this session's resources.
 
@@ -468,6 +477,11 @@ class Vmsh:
             "vmsh", "attach_retry", attempt=attempt + 1,
             site=err.site, backoff_ns=backoff,
         )
+        self.host.obs.instant(
+            "attach.retry", track="attach-control",
+            attempt=attempt + 1, site=err.site, backoff_ns=backoff,
+        )
+        self.host.obs.metrics.scope("attach").counter("retries").inc()
         return backoff
 
     def _attach_transport(self, *args) -> VmshSession:
@@ -538,16 +552,30 @@ class Vmsh:
         """
         if mmio_mode not in ("auto", "ioregionfd", "wrap_syscall"):
             raise VmshError(f"unknown mmio mode {mmio_mode!r}")
-        txn = AttachTransaction(self.host, label=f"attach:{hypervisor_pid}")
+        # One span track per attach attempt: the per-hub id keeps a
+        # retried or re-attached VM on a fresh track (and a fresh
+        # metrics subtree) so step spans nest under *their* attempt.
+        obs = self.host.obs
+        attach_id = obs.next_id("attach")
+        track = f"attach:{hypervisor_pid}#{attach_id}"
+        txn = AttachTransaction(
+            self.host, label=f"attach:{hypervisor_pid}", track=track
+        )
+        root = obs.spans.begin(
+            "attach", track=track, pid=hypervisor_pid,
+            transport=transport, attempt=attach_id,
+        )
         try:
             session = yield from self._pipeline(
                 txn, hypervisor_pid, mmio_mode, command, container_pid,
                 image, copy_path, transport, exec_device, seccomp_aware,
-                event_idx,
+                event_idx, track=track, attach_id=attach_id,
             )
+            obs.spans.end(root, status="ok")
             return session
-        except BaseException:
+        except BaseException as exc:
             txn.rollback()
+            obs.spans.end(root, status=type(exc).__name__)
             raise
 
     def _run_pipeline(self, *args, **kwargs) -> VmshSession:
@@ -567,12 +595,20 @@ class Vmsh:
         exec_device: bool,
         seccomp_aware: bool,
         event_idx: bool = True,
+        track: Optional[str] = None,
+        attach_id: Optional[int] = None,
     ):
         # Each ``yield`` marks an ATTACH_STEPS boundary: a scheduler
         # task suspends there, letting other attaches and device work
         # run in between; the synchronous driver treats them as no-ops.
         start_ns = self.host.clock.now
         hv = self.host.process(hypervisor_pid)
+        obs = self.host.obs
+        if attach_id is None:
+            attach_id = obs.next_id("attach")
+        session_metrics = obs.metrics.scope(
+            "attach", vm=hypervisor_pid, session=attach_id
+        )
 
         # 1. /proc discovery of KVM fds.
         txn.step("discover")
@@ -606,7 +642,8 @@ class Vmsh:
         )
         arch = self.host.arch
         gateway = GuestMemoryGateway(
-            self.host, self._thread, hypervisor_pid, records, arch=arch
+            self.host, self._thread, hypervisor_pid, records, arch=arch,
+            metrics=session_metrics.scope("gateway"),
         )
         gateway.set_cr3(sregs[arch.pt_root_sreg])
 
@@ -655,6 +692,7 @@ class Vmsh:
         accessor = accessor_cls(
             self.host, self._thread, hypervisor_pid, gateway.translator
         )
+        accessor.stats.bind(session_metrics.scope("device"))
         device_host = VmshDeviceHost(
             costs=self.host.costs,
             accessor=accessor,
@@ -726,6 +764,10 @@ class Vmsh:
             },
             tlb_hits=gateway.tlb_hits,
             tlb_misses=gateway.tlb_misses,
+        )
+        session_metrics.gauge("attach_ns").set(report.attach_ns)
+        obs.metrics.scope("attach").histogram("latency_ns").observe(
+            report.attach_ns
         )
         self.host.tracer.emit(
             "vmsh", "attached", pid=hypervisor_pid, mode=mode,

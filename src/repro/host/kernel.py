@@ -38,9 +38,13 @@ class HostKernel:
 
         self.clock = clock if clock is not None else Clock()
         self.costs = costs if costs is not None else CostModel(self.clock)
+        #: observability hub shared with (and owned through) the cost
+        #: model: a Testbed wires one root hub into its CostModel, a
+        #: standalone HostKernel gets the CostModel's private hub.
+        self.obs = self.costs.obs
         self.tracer = tracer if tracer is not None else NullTracer()
         #: fault-injection runtime (inert until a FaultPlan is armed)
-        self.faults = FaultInjector(self.tracer)
+        self.faults = FaultInjector(self.tracer, obs=self.obs)
         #: discrete-event scheduler (set by the Testbed).  Signal paths
         #: consult it via :meth:`wakeup`; ``None`` or an idle scheduler
         #: means fully synchronous legacy behaviour.
@@ -58,6 +62,12 @@ class HostKernel:
         # Per-thread syscall trace hooks installed via ptrace
         # (tid -> callback(thread, syscall_name, phase)).
         self._syscall_hooks: Dict[int, Callable[[Thread, str, str], None]] = {}
+        # Registry-backed host metrics: per-syscall invocation counts
+        # (labelled) plus the inline-vs-deferred wakeup split.
+        self._m_host = self.obs.metrics.scope("host")
+        self._m_syscalls: Dict[str, Any] = {}
+        self._m_wakeups_inline = self._m_host.counter("wakeups_inline")
+        self._m_wakeups_deferred = self._m_host.counter("wakeups_deferred")
 
     # -- deferred wakeups --------------------------------------------------------
 
@@ -75,7 +85,9 @@ class HostKernel:
         """
         sched = self.scheduler
         if sched is not None and sched.running:
+            self._m_wakeups_deferred.inc()
             return sched.after(delay_ns, fn, label=label)
+        self._m_wakeups_inline.inc()
         fn()
         return None
 
@@ -153,6 +165,11 @@ class HostKernel:
             # The Firecracker quirk (§6.2): a strict per-thread filter
             # that kills exactly the syscalls VMSH injects.
             self.faults.check("seccomp.injected", syscall=name, thread=thread.name)
+        counter = self._m_syscalls.get(name)
+        if counter is None:
+            counter = self._m_host.counter("syscalls", syscall=name)
+            self._m_syscalls[name] = counter
+        counter.inc()
         hook = self._syscall_hooks.get(thread.tid)
         if hook is not None:
             self.costs.ptrace_stop()

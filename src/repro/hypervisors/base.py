@@ -121,6 +121,19 @@ class Hypervisor:
         self.guest = GuestKernel(self.vm, config)
         self.guest.boot()
         self.launched = True
+        # Tag this VM's registry subtree: everything a layer records
+        # under ``scope("vm", vm=<pid>)`` aggregates per VM, and the
+        # launch gauges pin flavor/shape for snapshot consumers.
+        self.metrics = self.host.obs.metrics.scope(
+            "vm", vm=self.process.pid, flavor=self.NAME
+        )
+        self.metrics.gauge("vcpus").set(self.vcpu_count)
+        self.metrics.gauge("ram_bytes").set(self.ram_bytes)
+        self.metrics.counter("launched").inc()
+        self.host.obs.instant(
+            "vmm.launched", track="fleet",
+            flavor=self.NAME, pid=self.process.pid,
+        )
         self.host.tracer.emit("vmm", "launched", name=self.NAME, pid=self.process.pid)
         return self.guest
 
@@ -164,8 +177,14 @@ class Hypervisor:
             costs.syscall()
             vm.inject_irq(gsi)
 
+        accessor = InProcessAccessor(vm.guest_memory(), costs)
+        accessor.stats.bind(
+            self.host.obs.metrics.scope(
+                "memio", role="vmm", vm=self.process.pid, device=name
+            )
+        )
         device = VirtioBlkDevice(
-            accessor=InProcessAccessor(vm.guest_memory(), costs),
+            accessor=accessor,
             irq_signal=inject_irq,
             costs=costs,
             backend=backend,

@@ -124,6 +124,21 @@ class VmFd(FileObject):
         self.userspace_exit_handler: Optional[Callable[[VcpuFd, MmioExit], None]] = None
         #: guest kernel's interrupt entry point
         self.guest_irq_sink: Optional[Callable[[int], None]] = None
+        # Per-VM KVM metrics, labelled by the owning hypervisor's pid:
+        # the VMEXIT funnel splits by consumption path (ioeventfd /
+        # ioregionfd / userspace) — the mechanism split behind Fig. 6.
+        metrics = self.kernel.obs.metrics.scope("kvm", vm=owner.pid)
+        self.metrics = metrics
+        self._m_exits = metrics.counter("vmexits")
+        self._m_exit_ioeventfd = metrics.counter("vmexits_ioeventfd")
+        self._m_exit_ioregionfd = metrics.counter("vmexits_ioregionfd")
+        self._m_exit_userspace = metrics.counter("vmexits_userspace")
+        self._m_irq_injected = metrics.counter("irq_injected")
+        self._m_msi_injected = metrics.counter("msi_injected")
+        self._m_irqfd_assigned = metrics.counter("irqfd_assigned")
+        self._m_irqfd_deassigned = metrics.counter("irqfd_deassigned")
+        self._m_ioeventfd_registered = metrics.counter("ioeventfd_registered")
+        self._m_ioregion_registered = metrics.counter("ioregion_registered")
 
     # -- ioctls ------------------------------------------------------------------
 
@@ -165,6 +180,7 @@ class VmFd(FileObject):
             )
             self.irq_routes[gsi] = eventfd
             self._irq_route_cbs[gsi] = cb
+            self._m_irqfd_assigned.inc()
             eventfd.on_signal(cb)
             # KVM holds its own reference to the eventfd: the route
             # survives the hypervisor closing its fd (struct-file
@@ -183,6 +199,7 @@ class VmFd(FileObject):
                     datamatch=arg.get("datamatch"),
                 )
             )
+            self._m_ioeventfd_registered.inc()
             return 0
         if request == "KVM_IRQFD_MSI":
             # An irqfd bound to an MSI message via KVM_SET_GSI_ROUTING.
@@ -204,6 +221,7 @@ class VmFd(FileObject):
             self._msi_routes[message] = (eventfd, cb)
             eventfd.on_signal(cb)
             eventfd.incref()
+            self._m_irqfd_assigned.inc()
             return 0
         if request == "KVM_SIGNAL_MSI":
             self.inject_msi(arg["msi_message"])
@@ -225,6 +243,7 @@ class VmFd(FileObject):
             # what lets a second VMSH attach supersede a detached one.
             self._drop_ioregions(new_lo, new_hi)
             self.ioregions.append(IoRegionFd(gpa=arg["gpa"], size=arg["size"], socket=sock))
+            self._m_ioregion_registered.inc()
             # KVM references the socket, so it stays connected after
             # the hypervisor-side fd VMSH injected is closed again.
             sock.incref()
@@ -246,6 +265,7 @@ class VmFd(FileObject):
         if cb is not None:
             eventfd.remove_signal(cb)
         eventfd.decref()
+        self._m_irqfd_deassigned.inc()
         return 0
 
     def _irqfd_msi_deassign(self, message: int) -> int:
@@ -255,6 +275,7 @@ class VmFd(FileObject):
         eventfd, cb = route
         eventfd.remove_signal(cb)
         eventfd.decref()
+        self._m_irqfd_deassigned.inc()
         return 0
 
     def _drop_ioregions(self, lo: int, hi: int) -> None:
@@ -281,6 +302,7 @@ class VmFd(FileObject):
     def inject_irq(self, gsi: int) -> None:
         """Inject a guest interrupt (from an irqfd signal)."""
         self.kernel.costs.irq_inject()
+        self._m_irq_injected.inc()
         if self.guest_irq_sink is not None:
             self.guest_irq_sink(gsi)
 
@@ -291,6 +313,7 @@ class VmFd(FileObject):
     def inject_msi(self, message: int) -> None:
         """Deliver an MSI/MSI-X message (works without GSI routing)."""
         self.kernel.costs.irq_inject()
+        self._m_msi_injected.inc()
         if self.guest_irq_sink is not None:
             self.guest_irq_sink(self.MSI_VECTOR_BASE + message)
 
@@ -310,12 +333,14 @@ class VmFd(FileObject):
         """
         costs = self.kernel.costs
         costs.vmexit()
+        self._m_exits.inc()
 
         # 1. ioeventfd fast path: the exit is consumed in the kernel.
         if is_write:
             for ioe in self.ioeventfds:
                 if ioe.matches(addr, value):
                     costs.eventfd_signal()
+                    self._m_exit_ioeventfd.inc()
                     # The vCPU resumes immediately after the in-kernel
                     # signal; whoever polls the eventfd wakes up as a
                     # scheduled event when a scheduler loop is running.
@@ -328,10 +353,12 @@ class VmFd(FileObject):
         for region in self.ioregions:
             if region.contains(addr, length):
                 costs.ioregionfd_message()
+                self._m_exit_ioregionfd.inc()
                 reply = self._ioregion_roundtrip(region, is_write, addr, length, value)
                 return reply
 
         # 3. Full userspace exit: KVM_RUN returns in the hypervisor.
+        self._m_exit_userspace.inc()
         exit = MmioExit(is_write=is_write, addr=addr, length=length, data=value)
         vcpu.kvm_run.set_mmio(exit)
         hook = None

@@ -24,9 +24,12 @@ so runs are exactly reproducible.
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterator
 
+from repro.obs import Observability
+from repro.obs.metrics import Counter
 from repro.sim.clock import Clock
 
 
@@ -80,33 +83,89 @@ class CostParams:
     vmsh_console_hop_ns: int = 305_000      # vqueue kick -> vmsh -> pts wakeup
 
 
+class CounterView(MutableMapping):
+    """``CostModel.counters`` shim: a mapping view over registry counters.
+
+    Pre-PR5 callers treated ``counters`` as a plain ``Dict[str, int]``;
+    the storage now lives in the shared :class:`MetricsRegistry` (under
+    the ``costs`` subsystem) so exporters and snapshots see the same
+    numbers.  The view keeps the dict API — ``get``/``items``/index
+    assignment/``clear`` — working against the registry-backed cache.
+    """
+
+    __slots__ = ("_model",)
+
+    def __init__(self, model: "CostModel") -> None:
+        self._model = model
+
+    def __getitem__(self, name: str) -> int:
+        return self._model._cache[name].value
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self._model._counter(name).value = value
+
+    def __delitem__(self, name: str) -> None:
+        self._model._cache.pop(name)
+        self._model.metrics.discard(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._model._cache)
+
+    def __len__(self) -> int:
+        return len(self._model._cache)
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
 class CostModel:
     """Charges virtual time to a :class:`Clock` and keeps counters.
 
     Counters let tests assert *mechanisms* (e.g. that vmsh-blk incurs
     twice the context switches of qemu-blk) rather than only outcomes.
+    They are registry-backed: ``self.metrics`` is the ``costs`` scope of
+    the shared observability hub (``self.obs``), and ``self.counters``
+    is a dict-compatible view onto it for legacy call sites.
     """
 
-    def __init__(self, clock: Clock, params: CostParams | None = None):
+    def __init__(
+        self,
+        clock: Clock,
+        params: CostParams | None = None,
+        obs: Observability | None = None,
+    ):
         self.clock = clock
         self.p = params if params is not None else CostParams()
-        self.counters: Dict[str, int] = {}
+        self.obs = obs if obs is not None else Observability(clock)
+        self.metrics = self.obs.metrics.scope("costs")
+        self._cache: Dict[str, Counter] = {}
+        self.counters = CounterView(self)
 
     # -- accounting helpers -------------------------------------------------
 
+    def _counter(self, name: str) -> Counter:
+        c = self._cache.get(name)
+        if c is None:
+            c = self.metrics.counter(name)
+            self._cache[name] = c
+        return c
+
     def _charge(self, counter: str, ns: int) -> None:
-        self.counters[counter] = self.counters.get(counter, 0) + 1
+        self._counter(counter).value += 1
         self.clock.advance(ns)
 
     def bump(self, counter: str, n: int = 1) -> None:
         """Increment a counter without advancing the clock."""
-        self.counters[counter] = self.counters.get(counter, 0) + n
+        self._counter(counter).value += n
 
     def count(self, counter: str) -> int:
-        return self.counters.get(counter, 0)
+        c = self._cache.get(counter)
+        return 0 if c is None else c.value
 
     def reset_counters(self) -> None:
-        self.counters.clear()
+        for name in self._cache:
+            self.metrics.discard(name)
+        self._cache.clear()
 
     # -- host kernel ---------------------------------------------------------
 

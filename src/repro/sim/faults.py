@@ -169,8 +169,13 @@ class FaultInjector:
     failed by the plan that triggered them.
     """
 
-    def __init__(self, tracer: Any = None):
+    def __init__(self, tracer: Any = None, obs: Any = None):
         self.tracer = tracer
+        #: observability hub (``repro.obs.Observability``) — fired
+        #: faults land as instant spans on the "faults" track and bump
+        #: a per-site counter, so injections line up with attach-step
+        #: spans in the exported Perfetto trace.
+        self.obs = obs
         self._plan: Optional[FaultPlan] = None
         self._hits: Dict[str, int] = {}
         self._suspend_depth = 0
@@ -260,6 +265,12 @@ class FaultInjector:
             self.tracer.emit(
                 "fault", "injected", site=site, kind=kind, occurrence=occurrence
             )
+        if self.obs is not None:
+            self.obs.instant(
+                "fault.injected", track="faults",
+                site=site, kind=kind, occurrence=occurrence,
+            )
+            self.obs.metrics.scope("faults").counter("injected", site=site).inc()
 
     def _fire(self, spec: FaultSpec, hit: int, detail: Dict[str, Any]) -> None:
         self._record(spec.site, spec.kind, hit)

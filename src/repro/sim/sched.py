@@ -182,17 +182,30 @@ class Task(Waitable):
         if self._done:
             return
         self.steps += 1
+        obs = self._sched.obs
+        turn = None
+        if obs is not None:
+            self._sched._m_turns.inc()
+            turn = obs.spans.begin(
+                "sched.turn", track=f"task:{self.label}", turn=self.steps
+            )
         try:
             if throw is not None:
                 yielded = self._gen.throw(throw)
             else:
                 yielded = self._gen.send(value)
         except StopIteration as stop:
+            if turn is not None:
+                obs.spans.end(turn, outcome="return")
             self._finish(result=stop.value)
             return
         except BaseException as exc:
+            if turn is not None:
+                obs.spans.end(turn, outcome=type(exc).__name__)
             self._finish(error=exc)
             return
+        if turn is not None:
+            obs.spans.end(turn)
         self._park(yielded)
 
     def _park(self, yielded: Any) -> None:
@@ -234,7 +247,7 @@ class Scheduler:
     """Deterministic discrete-event loop over a virtual clock."""
 
     def __init__(self, clock: Optional[Clock] = None, label: str = "sched",
-                 master_seed: int = simrng.MASTER_SEED):
+                 master_seed: int = simrng.MASTER_SEED, obs: Any = None):
         self.clock = clock if clock is not None else Clock()
         self.label = label
         self._tiebreak = simrng.stream(f"sched:{label}", master_seed)
@@ -245,6 +258,17 @@ class Scheduler:
         self.running = False
         #: total events dispatched over the scheduler's lifetime
         self.events_run = 0
+        #: observability hub (``repro.obs.Observability``) or ``None``:
+        #: when set, every task turn records a span on that task's
+        #: track and dispatch/spawn counts land in the registry.
+        self.obs = obs
+        if obs is not None:
+            scope = obs.metrics.scope("sched", loop=label)
+            self._m_events = scope.counter("events_dispatched")
+            self._m_spawned = scope.counter("tasks_spawned")
+            self._m_turns = scope.counter("task_turns")
+        else:
+            self._m_events = self._m_spawned = self._m_turns = None
 
     # -- scheduling primitives ------------------------------------------------
 
@@ -286,6 +310,8 @@ class Scheduler:
     def spawn(self, gen: Generator, label: str = "task") -> Task:
         """Wrap a generator into a :class:`Task`; first step runs soon."""
         task = Task(self, gen, label)
+        if self._m_spawned is not None:
+            self._m_spawned.inc()
         self.call_soon(task._step, label=f"start:{label}")
         return task
 
@@ -346,5 +372,7 @@ class Scheduler:
             self.clock.advance(time_ns - self.clock.now)
         timer.fired = True
         self.events_run += 1
+        if self._m_events is not None:
+            self._m_events.inc()
         timer.fn()
         return 1

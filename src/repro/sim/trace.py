@@ -59,6 +59,25 @@ class Tracer:
             )
         self.events.append(Event(now, category, name, detail))
 
+    def mark(self) -> int:
+        """Return a cursor over the *logical* event stream.
+
+        The cursor is the total number of events ever emitted (evicted
+        included), so it stays valid when the oldest-half eviction in
+        :meth:`emit` shifts list positions — unlike ``len(t.events)``,
+        which silently re-points at newer events after a truncation.
+        """
+        return self.dropped_events + len(self.events)
+
+    def since(self, mark: int) -> List[Event]:
+        """Events emitted after ``mark`` (from :meth:`mark`).
+
+        Events that were both emitted and evicted after the mark are
+        gone; the surviving suffix is returned, which is exactly the
+        window positional slicing gets wrong.
+        """
+        return self.events[max(0, mark - self.dropped_events):]
+
     def find(self, category: Optional[str] = None, name: Optional[str] = None) -> List[Event]:
         """All events matching the given category and/or name."""
         return [

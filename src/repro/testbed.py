@@ -21,6 +21,7 @@ from repro.hypervisors.flavors import (
     Qemu,
 )
 from repro.kvm.api import KvmSystem
+from repro.obs import Observability
 from repro.sim import rng as simrng
 from repro.sim.clock import Clock
 from repro.sim.costs import CostModel, CostParams
@@ -45,9 +46,15 @@ class Testbed:
         from repro.arch import arch_by_name
 
         self.clock = Clock()
-        self.costs = CostModel(self.clock, cost_params)
+        #: root observability hub: every layer's spans and metrics land
+        #: here (threaded through ``CostModel.obs``), so one snapshot
+        #: or Perfetto export covers the whole testbed.
+        self.obs = Observability(self.clock)
+        self.costs = CostModel(self.clock, cost_params, obs=self.obs)
         self.tracer = Tracer(self.clock) if trace else None
         self.host = HostKernel(self.clock, self.costs, self.tracer)
+        self._seed = seed if seed is not None else simrng.MASTER_SEED
+        self.obs.metrics.scope("testbed").gauge("seed").set(self._seed)
         #: discrete-event scheduler sharing the testbed clock.  Inert
         #: until one of its run loops is entered, so every synchronous
         #: entry point behaves exactly as before; ``seed`` drives the
@@ -55,7 +62,8 @@ class Testbed:
         self.scheduler = Scheduler(
             self.clock,
             label="testbed",
-            master_seed=seed if seed is not None else simrng.MASTER_SEED,
+            master_seed=self._seed,
+            obs=self.obs,
         )
         self.host.scheduler = self.scheduler
         self.arch = arch_by_name(arch)

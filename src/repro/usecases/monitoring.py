@@ -106,6 +106,23 @@ class GuestMonitor:
                 sample.filesystems[mountpoint] = df.output
         return sample
 
+    def sample_task(self):
+        """Cooperative :meth:`sample` for scheduler tasks (a generator)."""
+        session = self.session
+        uname = yield from session.exec_task("uname")
+        sample = GuestSample(
+            time_ns=self.vmsh.host.clock.now,
+            kernel=uname.output,
+        )
+        ps = yield from session.exec_task("ps")
+        if ps.ok:
+            sample.processes = _parse_ps(ps.output)
+        for mountpoint in ("/", "/var/lib/vmsh"):
+            df = yield from session.exec_task(["df", mountpoint])
+            if df.ok:
+                sample.filesystems[mountpoint] = df.output
+        return sample
+
     def watch(self, samples: int, interval_ns: int) -> List[GuestSample]:
         """Take several samples, advancing virtual time between them."""
         collected = []
@@ -113,6 +130,37 @@ class GuestMonitor:
             collected.append(self.sample())
             if index + 1 < samples:
                 self.vmsh.host.clock.advance(interval_ns)
+        return collected
+
+    def watch_task(self, samples: int, interval_ns: int):
+        """Cooperative :meth:`watch` for scheduler tasks.
+
+        ``yield interval_ns`` parks the monitor between samples, so the
+        guests' device service loops (and other monitors) interleave
+        with the watch instead of the monitor owning the clock the way
+        the synchronous :meth:`watch` does.  Spawn with
+        ``sched.spawn(monitor.watch_task(...))``; the task's result is
+        the collected sample list.
+        """
+        host = self.vmsh.host
+        tracer = host.tracer
+        collected = []
+        for index in range(samples):
+            # Tracer cursor, not len(events): a long watch can cross an
+            # eviction, and positional slices silently shift with it.
+            before = tracer.mark()
+            # begin/end, not the context manager: the sample's exec
+            # round-trips yield while the span is open.
+            span = host.obs.spans.begin(
+                "monitor.sample", track="monitor", sample=index
+            )
+            sample = yield from self.sample_task()
+            collected.append(sample)
+            host.obs.spans.end(
+                span, trace_events=len(tracer.since(before))
+            )
+            if index + 1 < samples:
+                yield interval_ns
         return collected
 
 

@@ -155,6 +155,14 @@ class VirtioBlkDevice(VirtioMmioDevice):
         )
         self.backend = backend
         self.requests_served = 0
+        obs = getattr(costs, "obs", None)
+        if obs is not None:
+            scope = obs.metrics.scope("virtio", device=self.name)
+            self._m_batch_depth = scope.histogram("batch_depth")
+            self._m_requests = scope.counter("requests")
+        else:
+            self._m_batch_depth = None
+            self._m_requests = None
 
     def process_queue(self, index: int) -> None:
         if index != 0:
@@ -163,6 +171,13 @@ class VirtioBlkDevice(VirtioMmioDevice):
         heads = ring.pop_available()
         if not heads:
             return
+        obs = getattr(self.costs, "obs", None)
+        batch_span = None
+        if obs is not None:
+            batch_span = obs.spans.begin(
+                "blk.batch", track=f"dev:{self.name}",
+                queue=index, depth=len(heads),
+            )
         table = ring.read_table()
         batch = []
         for head in heads:
@@ -173,12 +188,19 @@ class VirtioBlkDevice(VirtioMmioDevice):
         # a single scattered write; under EVENT_IDX the ring decides
         # whether the driver asked to be interrupted for this batch.
         self.costs.virtio_batch("blk", len(batch))
+        if self._m_batch_depth is not None:
+            self._m_batch_depth.observe(len(batch))
+            self._m_requests.inc(len(batch))
         if ring.push_used_batch(batch):
             if len(batch) > 1:
                 self.costs.virtio_irq_coalesced(len(batch) - 1)
+            if batch_span is not None:
+                obs.spans.end(batch_span, interrupt="delivered")
             self.raise_interrupt()
         else:
             self.costs.virtio_irq_suppressed()
+            if batch_span is not None:
+                obs.spans.end(batch_span, interrupt="suppressed")
 
     def _service_request(self, head: int, table: bytes) -> int:
         ring = self._ring(0)
@@ -272,6 +294,16 @@ class GuestVirtioBlkDisk(BlockDevice):
         self.iodepth = 1
         guest_kernel.register_irq(transport.irq_gsi, self._on_irq)
         self._pending_completions: List = []
+        # Guest kernels may run without a cost model (unit fixtures);
+        # the observability hub rides on it, so gate everything here.
+        costs = guest_kernel.costs
+        self._obs = costs.obs if costs is not None else None
+        if self._obs is not None:
+            self._m_windows = self._obs.metrics.scope(
+                "blk", role="driver", device=name
+            ).counter("windows")
+        else:
+            self._m_windows = None
 
     @property
     def capacity_sectors(self) -> int:
@@ -445,20 +477,42 @@ class GuestVirtioBlkDisk(BlockDevice):
         slot_bytes = (self._data_pool_bytes // depth) & ~4095
         results: List[bytes] = [b""] * len(ops)
         for start in range(0, len(ops), depth):
-            inflight = self._post_window(start, ops[start : start + depth],
-                                         slot_bytes)
+            window = ops[start : start + depth]
+            # begin/end rather than the context manager: the span must
+            # survive the scheduler yields between submit and harvest.
+            win_span = None
+            if self._obs is not None:
+                win_span = self._obs.spans.begin(
+                    "blk.window", track=f"blk:{self.name}",
+                    start=start, depth=len(window),
+                )
+                self._m_windows.inc()
+            inflight = self._post_window(start, window, slot_bytes)
+            waits = 0
             while inflight:
                 self._harvest(self.ring.collect_used(), inflight, results)
                 if inflight:
                     # The device host's service task has not reached
                     # this queue yet; let other events run.
+                    waits += 1
                     yield f"{self.name}:harvest"
+            if win_span is not None:
+                self._obs.spans.end(win_span, waits=waits)
         return results
 
     def _submit_window(self, ops, start, window, slot_bytes, results) -> None:
         """Submit one in-flight window, kick, then harvest it whole."""
+        win_span = None
+        if self._obs is not None:
+            win_span = self._obs.spans.begin(
+                "blk.window", track=f"blk:{self.name}",
+                start=start, depth=len(window),
+            )
+            self._m_windows.inc()
         inflight = self._post_window(start, window, slot_bytes)
         self._harvest(self.ring.collect_used(), inflight, results)
+        if win_span is not None:
+            self._obs.spans.end(win_span, waits=0)
         if inflight:
             raise VirtioError(
                 f"{self.name}: {len(inflight)} queued request(s) did not complete"

@@ -38,7 +38,6 @@ Two slower paths are kept for ablations:
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import VmshError
@@ -51,7 +50,6 @@ from repro.sim.costs import CostModel
 IOV_MAX = 1024
 
 
-@dataclass
 class AccessorStats:
     """Per-accessor copy-path counters.
 
@@ -60,29 +58,78 @@ class AccessorStats:
     (syscalls or memcpys) they turned into; ``segments`` counts the
     iovec segments those copies carried.  ``segments - calls`` is then
     the number of syscalls the scatter-gather batching saved.
+
+    Stats start as plain per-object integers; :meth:`bind` migrates
+    them into a :class:`~repro.obs.metrics.MetricsRegistry` scope, after
+    which the attributes are thin shims over shared registry counters —
+    the pre-PR5 ``stats.reads`` API keeps working while exporters see
+    every accessor in one tree.
     """
 
-    reads: int = 0
-    writes: int = 0
-    bytes_read: int = 0
-    bytes_written: int = 0
-    calls: int = 0
-    segments: int = 0
+    FIELDS = ("reads", "writes", "bytes_read", "bytes_written", "calls", "segments")
+    __slots__ = ("_counters",)
+
+    def __init__(self, **initial: int) -> None:
+        unknown = set(initial) - set(self.FIELDS)
+        if unknown:
+            raise TypeError(f"unknown AccessorStats fields: {sorted(unknown)}")
+        # Unbound storage reuses the Counter value cells (sans registry)
+        # so the properties below have a single read/write path.
+        from repro.obs.metrics import Counter
+
+        self._counters = {name: Counter(name, ()) for name in self.FIELDS}
+        for name, value in initial.items():
+            self._counters[name].value = value
+
+    def bind(self, registry) -> "AccessorStats":
+        """Re-home the counters into ``registry`` (a metrics scope).
+
+        Current values migrate in additively: re-binding to a scope that
+        already holds counters (a re-attached session with the same
+        labels) keeps the registry cumulative, mirroring how
+        ``GuestMemoryGateway.refresh_memslots`` carries stats objects
+        across accessor rebuilds.
+        """
+        bound = {}
+        for name in self.FIELDS:
+            counter = registry.counter(name)
+            counter.value += self._counters[name].value
+            bound[name] = counter
+        self._counters = bound
+        return self
 
     @property
     def segments_coalesced(self) -> int:
         return self.segments - self.calls
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "reads": self.reads,
-            "writes": self.writes,
-            "bytes_read": self.bytes_read,
-            "bytes_written": self.bytes_written,
-            "calls": self.calls,
-            "segments": self.segments,
-            "segments_coalesced": self.segments_coalesced,
-        }
+        out = {name: self._counters[name].value for name in self.FIELDS}
+        out["segments_coalesced"] = self.segments_coalesced
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"AccessorStats({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessorStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+
+def _stats_field(name: str):
+    def _get(self: AccessorStats) -> int:
+        return self._counters[name].value
+
+    def _set(self: AccessorStats, value: int) -> None:
+        self._counters[name].value = value
+
+    return property(_get, _set)
+
+
+for _name in AccessorStats.FIELDS:
+    setattr(AccessorStats, _name, _stats_field(_name))
+del _name
 
 
 class GuestMemoryAccessor:

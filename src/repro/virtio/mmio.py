@@ -163,6 +163,10 @@ class VirtioMmioDevice:
         queue = self.queues[index]
         if not queue.num:
             raise VirtioError(f"{self.name}: queue {index} readied with size 0")
+        obs = getattr(self.costs, "obs", None)
+        metrics = None
+        if obs is not None:
+            metrics = obs.metrics.scope("vring", device=self.name, queue=index)
         queue.ring = DeviceRing(
             self.mem,
             queue.desc_gpa,
@@ -170,6 +174,7 @@ class VirtioMmioDevice:
             queue.used_gpa,
             queue.num,
             event_idx=self.event_idx,
+            metrics=metrics,
         )
         queue.ready = True
 

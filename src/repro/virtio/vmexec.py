@@ -134,8 +134,8 @@ class VmExecDevice(VirtioMmioDevice):
 
     # -- host API ------------------------------------------------------------------
 
-    def submit(self, argv: List[str]) -> ExecResult:
-        """Run ``argv`` in the guest overlay; synchronous."""
+    def _post_request(self, argv: List[str]) -> None:
+        """Write ``argv`` into a posted buffer and interrupt the guest."""
         ring = self._ring(REQUEST_QUEUE)
         # The driver re-posts buffers without a doorbell (it knows the
         # device polls the avail ring on demand).
@@ -153,9 +153,29 @@ class VmExecDevice(VirtioMmioDevice):
             raise VirtioError("vm-exec request buffer too small")
         self.mem.write(chain[0].addr, request)
         ring.push_used(head, len(request))
-        self.raise_interrupt()           # guest executes synchronously
+        self.raise_interrupt()
+
+    def submit(self, argv: List[str]) -> ExecResult:
+        """Run ``argv`` in the guest overlay; synchronous.
+
+        Only valid outside a running scheduler loop, where the guest's
+        interrupt is taken (and the response produced) inline.
+        """
+        self._post_request(argv)
         if not self._responses:
             raise VirtioError(f"{self.name}: guest produced no response")
+        return self._responses.pop(0)
+
+    def submit_task(self, argv: List[str]):
+        """Cooperative :meth:`submit` for scheduler tasks.
+
+        Under a running scheduler the guest's interrupt is a deferred
+        wakeup, so the response only exists after the loop dispatches
+        it; yielding hands the loop exactly that chance.
+        """
+        self._post_request(argv)
+        while not self._responses:
+            yield f"{self.name}:response"
         return self._responses.pop(0)
 
 

@@ -209,6 +209,7 @@ class DeviceRing:
         used_gpa: int,
         size: int,
         event_idx: bool = False,
+        metrics=None,
     ):
         self._mem = accessor
         self.desc_gpa = desc_gpa
@@ -221,6 +222,18 @@ class DeviceRing:
         # used_event snapshot piggybacked on the last pop_available();
         # None until the driver's hint has been observed at least once.
         self._used_event: Optional[int] = None
+        # Optional registry scope (transports pass one per queue); the
+        # counters are cached so the per-batch overhead is one branch.
+        if metrics is not None:
+            self._m_publishes = metrics.counter("used_publishes")
+            self._m_entries = metrics.counter("used_entries")
+            self._m_irq_delivered = metrics.counter("interrupts_delivered")
+            self._m_irq_suppressed = metrics.counter("interrupts_suppressed")
+        else:
+            self._m_publishes = None
+            self._m_entries = None
+            self._m_irq_delivered = None
+            self._m_irq_suppressed = None
 
     @property
     def used_event_gpa(self) -> int:
@@ -365,9 +378,19 @@ class DeviceRing:
         if self.event_idx:
             iov.append((self.avail_event_gpa, self._last_avail.to_bytes(2, "little")))
         self._write_vectored(iov)
+        if self._m_publishes is not None:
+            self._m_publishes.inc()
+            self._m_entries.inc(len(elems))
         if not self.event_idx:
-            return True
-        used_event = self._used_event
-        if used_event is None:
-            used_event = self._mem.read_u16(self.used_event_gpa)
-        return vring_need_event(used_event, self._used_idx, old_used)
+            notify = True
+        else:
+            used_event = self._used_event
+            if used_event is None:
+                used_event = self._mem.read_u16(self.used_event_gpa)
+            notify = vring_need_event(used_event, self._used_idx, old_used)
+        if self._m_irq_delivered is not None:
+            if notify:
+                self._m_irq_delivered.inc()
+            else:
+                self._m_irq_suppressed.inc()
+        return notify

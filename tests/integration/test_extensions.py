@@ -138,6 +138,37 @@ def test_monitor_watch_advances_time():
     assert samples[2].time_ns - samples[0].time_ns >= 10 * MSEC
 
 
+def test_monitor_watch_task_matches_sync_watch():
+    """The cooperative watch collects the same view as the sync one."""
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    monitor = GuestMonitor(tb.vmsh())
+    monitor.attach(hv)
+    task = tb.scheduler.spawn(
+        monitor.watch_task(samples=3, interval_ns=5 * MSEC), label="watch"
+    )
+    samples = tb.scheduler.run(task)[0]
+    assert len(samples) == 3
+    assert all(s.kernel.startswith("Linux") for s in samples)
+    assert all("/" in s.filesystems for s in samples)
+    assert samples[2].time_ns - samples[0].time_ns >= 10 * MSEC
+    # Each sample recorded a span carrying its tracer-cursor window.
+    spans = tb.obs.spans.find("monitor.sample", track="monitor")
+    assert [s.attrs["sample"] for s in spans] == [0, 1, 2]
+    assert all(s.end_ns is not None for s in spans)
+    monitor.detach()
+
+
+def test_exec_task_matches_sync_exec():
+    tb = Testbed()
+    hv = tb.launch_qemu()
+    session = tb.vmsh().attach(hv.pid, exec_device=True)
+    task = tb.scheduler.spawn(session.exec_task("echo hello"), label="exec")
+    result = tb.scheduler.run(task)[0]
+    assert result.ok and result.output == "hello"
+    session.detach()
+
+
 def test_monitor_requires_attach():
     tb = Testbed()
     monitor = GuestMonitor(tb.vmsh())

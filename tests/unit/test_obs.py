@@ -1,0 +1,219 @@
+"""Unit coverage for the observability spine (``repro.obs``).
+
+Everything here runs against a bare ``Clock`` — no testbed, no VMs —
+so it pins the *mechanisms*: registry keying and type safety, span
+nesting across tracks, the exporters' formats, the trace-event
+validator, and the tracer's eviction-proof cursor.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.export import (
+    metrics_json,
+    perfetto_trace,
+    prometheus_text,
+    validate_trace_events,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+from repro.sim.clock import Clock
+from repro.sim.trace import Tracer
+
+
+# -- metrics registry -----------------------------------------------------------
+
+
+def test_registry_get_or_create_shares_objects():
+    reg = MetricsRegistry()
+    a = reg.scope("kvm", vm=7).counter("vmexits")
+    b = reg.scope("kvm").counter("vmexits", vm=7)
+    assert a is b
+    a.inc(3)
+    assert b.value == 3
+
+
+def test_registry_scope_paths_and_labels_merge():
+    reg = MetricsRegistry()
+    child = reg.scope("virtio", "blk", device="d0").scope("q", queue=1)
+    metric = child.counter("kicks")
+    assert metric.labels == (("device", "d0"), ("queue", "1"))
+    snap = reg.snapshot()
+    assert list(snap) == ['virtio.blk.q.kicks{device="d0",queue="1"}']
+
+
+def test_registry_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError, match="already registered as counter"):
+        reg.gauge("x")
+
+
+def test_registry_walk_is_scoped_and_sorted():
+    reg = MetricsRegistry()
+    reg.scope("b").counter("two")
+    reg.scope("a").counter("one")
+    reg.scope("ab").counter("three")       # prefix of neither scope
+    keys = [key[0] for key, _ in reg.scope("a").walk()]
+    assert keys == ["a"]
+    all_keys = [key[0] for key, _ in reg.walk()]
+    assert all_keys == sorted(all_keys)
+
+
+def test_histogram_exact_samples():
+    reg = MetricsRegistry()
+    h = reg.histogram("depth")
+    h.observe(1, n=3)
+    h.observe(8)
+    assert h.count == 4 and h.sum == 11
+    assert reg.snapshot()["depth"]["samples"] == {"1": 3, "8": 1}
+
+
+# -- spans ----------------------------------------------------------------------
+
+
+def test_spans_nest_per_track():
+    clock = Clock()
+    rec = SpanRecorder(clock)
+    outer = rec.begin("outer", track="t1")
+    other = rec.begin("elsewhere", track="t2")
+    inner = rec.begin("inner", track="t1")
+    assert inner.parent_sid == outer.sid
+    assert other.parent_sid is None        # separate track, separate stack
+    clock.advance(100)
+    rec.end(inner)
+    rec.end(outer)
+    assert inner.duration_ns == 100
+    assert rec.open_spans() == [other]
+
+
+def test_span_out_of_order_close_pops_abandoned_children():
+    rec = SpanRecorder(Clock())
+    outer = rec.begin("outer")
+    rec.begin("abandoned")
+    rec.end(outer)
+    assert rec.open_spans() == []
+
+
+def test_span_cap_drops_new_spans_keeps_history():
+    rec = SpanRecorder(Clock(), max_spans=2)
+    first = rec.begin("a")
+    rec.begin("b")
+    rec.begin("c")
+    assert len(rec.spans) == 2 and rec.dropped_spans == 1
+    assert rec.spans[0] is first           # history never evicted
+
+
+def test_span_context_manager_records_failure_status():
+    rec = SpanRecorder(Clock())
+    with pytest.raises(ValueError):
+        with rec.span("work"):
+            raise ValueError("boom")
+    assert rec.spans[0].attrs["status"] == "ValueError"
+
+
+# -- exporters ------------------------------------------------------------------
+
+
+def _small_hub():
+    hub = Observability(Clock())
+    hub.metrics.scope("kvm", vm=1).counter("vmexits").inc(5)
+    hub.metrics.scope("blk").histogram("depth").observe(2, n=3)
+    with hub.span("attach", track="a", pid=1):
+        hub.clock_noop = None              # attrs only; no timing needed
+    return hub
+
+
+def test_metrics_json_is_sorted_and_stable():
+    hub = _small_hub()
+    text = metrics_json(hub.metrics)
+    assert text == metrics_json(hub.metrics)
+    loaded = json.loads(text)
+    assert loaded['kvm.vmexits{vm="1"}'] == {"kind": "counter", "value": 5}
+
+
+def test_prometheus_text_renders_counters_and_histograms():
+    text = prometheus_text(_small_hub().metrics)
+    assert '# TYPE vmsh_kvm_vmexits counter' in text
+    assert 'vmsh_kvm_vmexits{vm="1"} 5' in text
+    assert 'vmsh_blk_depth_bucket{le="2"} 3' in text
+    assert 'vmsh_blk_depth_bucket{le="+Inf"} 3' in text
+    assert 'vmsh_blk_depth_sum 6' in text
+    assert 'vmsh_blk_depth_count 3' in text
+
+
+def test_perfetto_trace_shape_and_validator_accept():
+    clock = Clock()
+    hub = Observability(clock)
+    span = hub.spans.begin("attach", track="attach:1")
+    clock.advance(2_000)
+    hub.spans.begin("attach.step", track="attach:1", step="stop_vcpus")
+    clock.advance(1_000)
+    trace = perfetto_trace(hub.spans)
+    assert validate_trace_events(trace) == []
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(xs) == 2
+    # Open spans render to the current clock and are flagged.
+    assert all(e["args"]["open"] for e in xs)
+    names = {e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"}
+    assert "attach:1" in names
+
+
+def test_validator_flags_malformed_traces():
+    assert validate_trace_events({"displayTimeUnit": "ns"})
+    assert validate_trace_events({"traceEvents": [{"ph": "X"}]})
+    bad_dur = {"traceEvents": [
+        {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": -1}
+    ]}
+    assert validate_trace_events(bad_dur)
+    ok = {"traceEvents": [
+        {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 1}
+    ]}
+    assert validate_trace_events(ok) == []
+
+
+def test_observability_ids_are_per_hub():
+    clock = Clock()
+    a, b = Observability(clock), Observability(clock)
+    assert a.next_id("attach") == 1
+    assert a.next_id("attach") == 2
+    assert a.next_id("gateway") == 1       # independent streams per kind
+    assert b.next_id("attach") == 1        # and per hub (determinism)
+
+
+# -- tracer cursor --------------------------------------------------------------
+
+
+def test_tracer_mark_since_without_eviction():
+    tracer = Tracer()
+    tracer.emit("x", "before")
+    mark = tracer.mark()
+    tracer.emit("x", "after1")
+    tracer.emit("x", "after2")
+    assert [e.name for e in tracer.since(mark)] == ["after1", "after2"]
+
+
+def test_tracer_mark_survives_eviction():
+    tracer = Tracer(max_events=10)
+    for i in range(8):
+        tracer.emit("x", f"pre{i}")
+    mark = tracer.mark()
+    for i in range(6):                     # crosses the oldest-half eviction
+        tracer.emit("x", f"post{i}")
+    assert tracer.dropped_events > 0
+    names = [e.name for e in tracer.since(mark)]
+    # Only post-mark events (plus the eviction marker), never stale
+    # pre-mark events that a positional slice would have returned.
+    assert "post5" in names
+    assert not any(n.startswith("pre") for n in names)
+
+
+def test_tracer_mark_clamps_when_marked_events_evicted():
+    tracer = Tracer(max_events=10)
+    mark = tracer.mark()
+    for i in range(40):                    # evicts well past the mark
+        tracer.emit("x", f"e{i}")
+    survivors = tracer.since(mark)
+    assert survivors == tracer.events      # clamped to what still exists
