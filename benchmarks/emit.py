@@ -20,6 +20,9 @@ Run from the repo root::
   span/metric counts sourced from the registry snapshot, export sizes,
   trace-event schema validation, and same-seed byte-identity digests
   for both exports.
+* ``--pr 6`` — snapshot/restore/clone: cold-boot vs snapshot-pool
+  serverless churn (the 5x cold-start bar), VM-layer capture/clone/
+  migrate costs, and the live-session restore invisibility checks.
 """
 
 from __future__ import annotations
@@ -242,7 +245,71 @@ def payload_pr5() -> dict:
     }
 
 
-EMITTERS = {3: payload_pr3, 4: payload_pr4, 5: payload_pr5}
+def payload_pr6() -> dict:
+    from test_ablation_snapshot import CHURN_CYCLES, _churn, _vm_layer
+
+    from repro.testbed import Testbed
+    from repro.units import SEC
+    from repro.usecases.serverless import VHivePlatform
+
+    cold = _churn(snapshot_pool=False)
+    pooled = _churn(snapshot_pool=True)
+    vm = _vm_layer()
+    cold_steady = sum(cold["steady_ns"]) / len(cold["steady_ns"])
+    pool_steady = sum(pooled["steady_ns"]) / len(pooled["steady_ns"])
+    p = pooled["params"]
+
+    # Same-seed replay of the pool churn: the fleet path (bake, clone,
+    # restore, reap) must be deterministic end to end.
+    def traced_run():
+        tb = Testbed(trace=True)
+        platform = VHivePlatform(tb, snapshot_pool=True)
+        platform.deploy("f", lambda payload: {"ok": payload["n"]})
+        for n in range(3):
+            platform.invoke("f", {"n": n})
+            tb.clock.advance(3 * SEC)
+            platform.scale_down()
+        return tb
+
+    run_a, run_b = traced_run(), traced_run()
+
+    return {
+        "pr": 6,
+        "title": "Snapshot/restore/clone for VMs: snapshot-pooled "
+                 "serverless cold starts, live migration, fleet fixes",
+        "workload": f"{CHURN_CYCLES} scale-to-zero churn cycles of one "
+                    "function, cold-boot vs snapshot-pool; VM-layer "
+                    "capture/clone/migrate; live-session round trip",
+        "cold_start": {
+            "boot_path_ns": round(cold_steady),
+            "pool_path_ns": round(pool_steady),
+            "cold_start_param_ns": p.faas_cold_start_ns,
+            "restore_param_ns": p.faas_snapshot_restore_ns,
+            "speedup": round(cold_steady / pool_steady, 2),
+            "pool_hits": pooled["pool_hits"],
+            "pool_misses": pooled["pool_misses"],
+            "boots_with_pool": pooled["cold_starts"],
+            "boots_without_pool": cold["cold_starts"],
+        },
+        "vm_layer": {
+            "capture_ns": vm["capture_ns"],
+            "clone_ns": vm["clone_ns"],
+            "migrate_ns": vm["migrate_ns"],
+            "cow_pages_total": vm["cow_pages_total"],
+        },
+        "headline": {
+            "pool_meets_5x_bar": pool_steady * 5 <= p.faas_cold_start_ns,
+            "restore_roundtrip_invisible": vm["roundtrip_invisible"],
+            "session_alive_after_restore": vm["console_alive"],
+            "migration_moved_host": vm["migrated_ok"],
+            "pool_run_deterministic":
+                run_a.obs.metrics_json() == run_b.obs.metrics_json()
+                and list(run_a.tracer.events) == list(run_b.tracer.events),
+        },
+    }
+
+
+EMITTERS = {3: payload_pr3, 4: payload_pr4, 5: payload_pr5, 6: payload_pr6}
 
 
 def main(argv=None) -> None:

@@ -19,6 +19,7 @@ PYTHONPATH=src python -m pytest -q \
     benchmarks/test_ablation_copy_path.py \
     benchmarks/test_ablation_sg_batching.py \
     benchmarks/test_ablation_event_idx.py \
+    benchmarks/test_ablation_snapshot.py \
     benchmarks/test_fleet_scaling.py
 
 # Machine-readable numbers per PR -> benchmarks/results/BENCH_PR<n>.json
@@ -26,6 +27,7 @@ PYTHONPATH=src python -m pytest -q \
 PYTHONPATH=src python benchmarks/emit.py --pr 3
 PYTHONPATH=src python benchmarks/emit.py --pr 4
 PYTHONPATH=src python benchmarks/emit.py --pr 5
+PYTHONPATH=src python benchmarks/emit.py --pr 6
 
 # Observability exports: the Perfetto trace of the canonical observed
 # fleet run must pass the trace-event schema check.

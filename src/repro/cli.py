@@ -10,6 +10,7 @@ Examples::
     python -m repro phoronix
     python -m repro console-latency
     python -m repro debloat
+    python -m repro snapshot
 """
 
 from __future__ import annotations
@@ -93,6 +94,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("phoronix", help="E4: the Phoronix Disk suite comparison")
     sub.add_parser("console-latency", help="E6: console round-trip latency")
     sub.add_parser("debloat", help="E7: top-40 Docker image de-bloat")
+    p_snap = sub.add_parser(
+        "snapshot",
+        help="snapshot-pool cold starts + VM capture/clone/migrate demo",
+    )
+    p_snap.add_argument(
+        "--cycles", type=int, default=8,
+        help="scale-to-zero churn cycles (default 8)",
+    )
 
     args = parser.parse_args(argv)
     handler = globals()[f"_cmd_{args.command.replace('-', '_')}"]
@@ -278,6 +287,40 @@ def _cmd_debloat(args: argparse.Namespace) -> int:
               f"({r.size_before >> 20} -> {r.size_after >> 20} MB)")
     stats = summarize(results)
     print(f"\nmean {stats['mean_reduction'] * 100:.1f}%  <10%: {stats['below_10pct']}")
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.units import MSEC, SEC
+    from repro.usecases.serverless import VHivePlatform
+
+    tb = Testbed()
+    platform = VHivePlatform(tb, snapshot_pool=True)
+    platform.deploy("resize", lambda p: {"ok": p["width"] * 2})
+    latencies = []
+    for cycle in range(args.cycles):
+        t0 = tb.clock.now
+        platform.invoke("resize", {"width": cycle})
+        latencies.append(tb.clock.now - t0)
+        tb.clock.advance(3 * SEC)
+        platform.scale_down()
+    hits, misses = tb.costs.count("faas_pool_hit"), tb.costs.count("faas_pool_miss")
+    print(f"{'cycle':>5}  {'latency':>10}  path")
+    for cycle, ns in enumerate(latencies):
+        path = "cold boot + bake" if cycle == 0 else "pool restore"
+        print(f"{cycle:>5}  {ns / MSEC:>8.2f}ms  {path}")
+    steady = sum(latencies[1:]) / max(len(latencies) - 1, 1)
+    print(f"\npool hit rate {hits}/{hits + misses}; steady-state "
+          f"{steady / MSEC:.2f} ms vs {tb.costs.p.faas_cold_start_ns / MSEC:.0f} ms "
+          f"cold start ({tb.costs.p.faas_cold_start_ns / steady:.1f}x)")
+
+    hv = tb.launch_qemu()
+    snap = tb.snapshot(hv)
+    clone = tb.clone(snap)
+    result = tb.migrate(clone)
+    print(f"\nVM layer: captured pid {hv.pid} ({snap.cow.pages_total} pages), "
+          f"cloned to pid {clone.pid}, migrated to "
+          f"pid {result.dest_pid} on host #{len(tb.hosts)}")
     return 0
 
 

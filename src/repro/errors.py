@@ -157,6 +157,17 @@ class HypervisorNotSupportedError(VmshError):
     """
 
 
+class SnapshotError(VmshError):
+    """A VM snapshot could not be captured, restored, cloned or migrated.
+
+    Raised when the VM's live state cannot be made quiescent (pending
+    device-host windows with no scheduler to drain them), when a
+    restore target no longer matches the snapshot's layout, or when a
+    clone is requested from a snapshot that was captured without a
+    frozen object graph.
+    """
+
+
 class SideloadError(VmshError):
     """The side-loading pipeline failed (discovery, parsing, loading)."""
 

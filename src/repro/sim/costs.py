@@ -75,6 +75,14 @@ class CostParams:
     faas_route_ns: int = 3_000_000          # route a request to a *warm* microVM
     faas_cold_start_ns: int = 125_000_000   # boot + handler init of a cold microVM
 
+    # Snapshot / restore / migrate (firecracker-snapshot-style, REAP-range
+    # restore latency): baking walks resident pages once; restoring maps a
+    # prebaked image and resumes vCPUs, an order of magnitude under a boot.
+    vm_snapshot_capture_ns: int = 35_000_000   # quiesce + walk + serialize
+    vm_snapshot_restore_ns: int = 18_000_000   # map image + rearm routes + resume
+    vm_migrate_ns: int = 80_000_000            # copy RAM + disk to the peer host
+    faas_snapshot_restore_ns: int = 18_000_000  # pool hit: restore, not boot
+
     # Console / tty / network
     tty_layer_ns: int = 20_000              # line discipline + shell turnaround
     shell_exec_ns: int = 180_000            # shell parses and echoes a command
@@ -309,6 +317,21 @@ class CostModel:
     def faas_cold_start(self) -> None:
         """The cold-start penalty scale-down trades for density (§6.5)."""
         self._charge("faas_cold_start", self.p.faas_cold_start_ns)
+
+    def faas_snapshot_restore(self) -> None:
+        """Serve a cold invocation from the prebaked snapshot pool."""
+        self._charge("faas_snapshot_restore", self.p.faas_snapshot_restore_ns)
+
+    # -- snapshot / restore / migrate -----------------------------------------------
+
+    def vm_snapshot_capture(self) -> None:
+        self._charge("vm_snapshot_capture", self.p.vm_snapshot_capture_ns)
+
+    def vm_snapshot_restore(self) -> None:
+        self._charge("vm_snapshot_restore", self.p.vm_snapshot_restore_ns)
+
+    def vm_migrate(self) -> None:
+        self._charge("vm_migrate", self.p.vm_migrate_ns)
 
     # -- console / network ---------------------------------------------------------
 

@@ -71,7 +71,11 @@ class Testbed:
         self.kvm = KvmSystem(
             self.host, ioregionfd_supported=ioregionfd, arch=self.arch
         )
+        self._ioregionfd = ioregionfd
         self._disk_counter = 0
+        #: simulated hosts sharing this testbed's clock/scheduler/obs —
+        #: migration targets.  Maps each HostKernel to its KvmSystem.
+        self.hosts: Dict[HostKernel, KvmSystem] = {self.host: self.kvm}
 
     # -- storage -----------------------------------------------------------------
 
@@ -125,6 +129,114 @@ class Testbed:
 
     def launch_cloud_hypervisor(self, **kwargs) -> CloudHypervisor:
         return self.launch(CloudHypervisor, **kwargs)  # type: ignore[return-value]
+
+    # -- snapshot / restore / clone / migrate ------------------------------------
+
+    def add_host(self) -> HostKernel:
+        """A second simulated host machine: a migration target.
+
+        Shares this testbed's clock, cost model, observability hub,
+        tracer and scheduler (one simulation, several machines), but
+        has its own process table, pid/tid namespaces and /dev/kvm.
+        """
+        host = HostKernel(self.clock, self.costs, self.tracer)
+        host.scheduler = self.scheduler
+        host.arch = self.arch
+        kvm = KvmSystem(
+            host, ioregionfd_supported=self._ioregionfd, arch=self.arch
+        )
+        self.hosts[host] = kvm
+        self.obs.metrics.scope("testbed").counter("hosts_added").inc()
+        return host
+
+    def snapshot(self, hv, session=None, base=None, freeze="auto"):
+        """Capture a :class:`~repro.core.snapshot.VmSnapshot` of ``hv``.
+
+        Charges ``vm_snapshot_capture_ns`` of virtual time (quiesce +
+        page walk + serialize).  ``freeze="auto"`` deep-freezes the
+        object graph for later :meth:`clone` whenever no ptrace session
+        is attached; pass ``False`` for a cheap restore-only capture or
+        ``True`` to require clonability.
+        """
+        from repro.core.snapshot import VmSnapshot
+
+        if freeze == "auto":
+            freeze = hv.process.tracer is None
+        with self.obs.span("snapshot.capture", track="snapshot",
+                           vm=hv.pid, flavor=hv.NAME):
+            self.costs.vm_snapshot_capture()
+            snap = VmSnapshot.capture(
+                hv, session=session, base=base, freeze=freeze,
+                scheduler=self.scheduler,
+            )
+        return snap
+
+    def restore(self, snap, hv, session=None) -> None:
+        """Restore ``snap`` into the live ``hv``, in place.
+
+        Charges ``vm_snapshot_restore_ns``.  For the metrics-invisible
+        round trip the determinism tests rely on, call
+        ``VmSnapshot.restore_into`` directly — the core path is silent.
+        """
+        with self.obs.span("snapshot.restore", track="snapshot",
+                           vm=hv.pid, flavor=hv.NAME):
+            self.costs.vm_snapshot_restore()
+            snap.restore_into(hv, session=session, scheduler=self.scheduler)
+
+    def clone(self, snap, host: Optional[HostKernel] = None, charge: bool = True):
+        """Materialize a new VM from a frozen snapshot.
+
+        Returns a fresh hypervisor (new pid, own RAM and disk) on
+        ``host`` (default: this testbed's primary host).  ``charge``
+        bills ``vm_snapshot_restore_ns``; the serverless pool passes
+        ``charge=False`` and accounts the restore at the FaaS layer.
+        """
+        host = host if host is not None else self.host
+        kvm = self.hosts.get(host)
+        if kvm is None:
+            raise KeyError("host is not part of this testbed — use add_host()")
+        with self.obs.span("snapshot.clone", track="snapshot",
+                           source=snap.source_pid, flavor=snap.flavor):
+            if charge:
+                self.costs.vm_snapshot_restore()
+            hv = snap.clone_into(host, kvm)
+        return hv
+
+    def migrate(self, hv, dst_host: Optional[HostKernel] = None,
+                session=None, **reattach_kwargs):
+        """Move a running VM to another simulated host.
+
+        Charges ``vm_migrate_ns``.  A live VMSH session triggers the
+        capability fallback: detach on the source, re-attach on the
+        destination (a fresh vmsh process on ``dst_host``, keeping the
+        session's overlay image and any ``reattach_kwargs``).  Returns
+        a :class:`~repro.core.snapshot.MigrationResult`.
+        """
+        from repro.core.snapshot import migrate_vm
+        from repro.core.vmsh import Vmsh
+
+        if dst_host is None:
+            dst_host = self.add_host()
+        dst_kvm = self.hosts.get(dst_host)
+        if dst_kvm is None:
+            raise KeyError("host is not part of this testbed — use add_host()")
+
+        reattach = None
+        if session is not None and not session.detached:
+            image = session.vmsh.image
+
+            def reattach(new_pid: int):
+                return Vmsh(dst_host, image=image).attach(
+                    new_pid, **reattach_kwargs
+                )
+
+        with self.obs.span("vm.migrate", track="snapshot",
+                           vm=hv.pid, flavor=hv.NAME):
+            self.costs.vm_migrate()
+            result = migrate_vm(
+                hv, dst_host, dst_kvm, session=session, reattach=reattach
+            )
+        return result
 
     # -- VMSH -----------------------------------------------------------------------
 

@@ -59,11 +59,24 @@ class VHivePlatform:
     """A miniature vHive: functions, microVM pool, logs, scale-down."""
 
     IDLE_TIMEOUT_NS = 2 * SEC
+    #: give up re-acquiring an instance after this many mid-invoke
+    #: terminations (each retry logs a WARN and re-charges the boot).
+    MAX_INVOKE_RETRIES = 3
 
-    def __init__(self, testbed: Testbed):
+    def __init__(self, testbed: Testbed, snapshot_pool: bool = False):
         self.testbed = testbed
+        #: opt-in: bake a VmSnapshot on the first cold boot of each
+        #: function and serve later cold invocations by restoring it
+        #: (``faas_snapshot_restore_ns``) instead of booting
+        #: (``faas_cold_start_ns``) — the ROADMAP item 1 pool.
+        self.snapshot_pool = snapshot_pool
+        self._pool: Dict[str, object] = {}
         self._functions: Dict[str, Callable[[dict], dict]] = {}
         self._instances: Dict[str, LambdaInstance] = {}
+        #: tombstones of reaped instances: log-driven lookups (the
+        #: debugger's "too late" path) still resolve, but the VM graph
+        #: is released and `_instance_for` never scans them.
+        self._retired: Dict[str, LambdaInstance] = {}
         self._instance_counter = itertools.count(1)
         self.logs: List[LogLine] = []
         self._autoscaler: Optional[PeriodicTimer] = None
@@ -77,13 +90,16 @@ class VHivePlatform:
         """Invoke a function; errors are logged, not raised (FaaS-style)."""
         if name not in self._functions:
             raise VmshError(f"function {name!r} is not deployed")
-        instance, cold = self._instance_for(name)
+        instance, kind = self._instance_for(name)
         instance.last_used_ns = self.testbed.clock.now
         # A request that lands on a scaled-down function pays the full
         # microVM boot + handler init, not just routing — the latency
-        # cliff scale-down trades for density (§6.5).
-        if cold:
+        # cliff scale-down trades for density (§6.5).  With the
+        # snapshot pool, later cold hits pay the restore instead.
+        if kind == "cold":
             self.testbed.costs.faas_cold_start()
+        elif kind == "restore":
+            self.testbed.costs.faas_snapshot_restore()
         self.testbed.costs.faas_route()
         return self._execute(instance, name, payload)
 
@@ -92,21 +108,49 @@ class VHivePlatform:
 
         Cold-start and routing delays become timed yields, so a storm
         of concurrent invocations across N microVMs interleaves — and
-        the autoscaler timer can fire in between.  The task's result is
-        the handler's result (or ``None`` on a logged error).
+        the autoscaler timer can fire in between.  Because of that, the
+        instance resolved before a timed yield may be scaled down by
+        the time the yield returns: the instance is re-validated after
+        *every* yield and re-acquired (with a logged retry) if it was
+        terminated mid-flight.  The task's result is the handler's
+        result (or ``None`` on a logged error).
         """
         if name not in self._functions:
             raise VmshError(f"function {name!r} is not deployed")
-        instance, cold = self._instance_for(name)
-        instance.last_used_ns = self.testbed.clock.now
         costs = self.testbed.costs
-        if cold:
-            costs.bump("faas_cold_start")
-            yield costs.p.faas_cold_start_ns
-        costs.bump("faas_route")
-        yield costs.p.faas_route_ns
-        instance.last_used_ns = self.testbed.clock.now
-        return self._execute(instance, name, payload)
+        retries = 0
+        while True:
+            instance, kind = self._instance_for(name)
+            instance.last_used_ns = self.testbed.clock.now
+            if kind == "cold":
+                costs.bump("faas_cold_start")
+                yield costs.p.faas_cold_start_ns
+            elif kind == "restore":
+                costs.bump("faas_snapshot_restore")
+                yield costs.p.faas_snapshot_restore_ns
+            if not instance.terminated:
+                costs.bump("faas_route")
+                yield costs.p.faas_route_ns
+            if instance.terminated:
+                # The autoscaler fired during a timed yield and killed
+                # the instance under us — never execute on a dead VM.
+                retries += 1
+                costs.bump("faas_invoke_retry")
+                if retries > self.MAX_INVOKE_RETRIES:
+                    self._log(
+                        instance, "ERROR",
+                        f"gave up invoking {name} after {retries - 1} "
+                        "mid-invoke terminations",
+                    )
+                    return None
+                self._log(
+                    instance, "WARN",
+                    f"instance terminated mid-invoke; retrying {name} "
+                    f"({retries}/{self.MAX_INVOKE_RETRIES})",
+                )
+                continue
+            instance.last_used_ns = self.testbed.clock.now
+            return self._execute(instance, name, payload)
 
     def _execute(self, instance: LambdaInstance, name: str,
                  payload: dict) -> Optional[dict]:
@@ -121,26 +165,37 @@ class VHivePlatform:
         self._log(instance, "INFO", "invoke ok")
         return result
 
-    def _instance_for(self, name: str) -> Tuple[LambdaInstance, bool]:
-        """The warm instance for ``name``, or a cold-booted one.
+    def _instance_for(self, name: str) -> Tuple[LambdaInstance, str]:
+        """The warm instance for ``name``, or a cold-booted/restored one.
 
-        Returns ``(instance, cold)`` — callers charge the cold-start
+        Returns ``(instance, kind)`` with ``kind`` one of ``"warm"``,
+        ``"cold"`` or ``"restore"`` — callers charge the matching
         penalty, because how the delay is paid differs between the
         synchronous and the cooperative invoke paths.
         """
         for instance in self._instances.values():
             if instance.function == name and not instance.terminated:
-                return instance, False
-        # Cold start: boot a slim Firecracker microVM for the function.
-        hv = self.testbed.launch_firecracker(seccomp=False)
-        lambda_proc = GuestProcess(
-            f"lambda-{name}",
-            hv.guest.root_ns,
-            creds=Credentials(uid=1000, gid=1000),
-            cgroup=f"/faas/{name}",
-            pid_ns=f"lambda-{name}",
-        )
-        hv.guest.processes.add(lambda_proc)
+                return instance, "warm"
+        snap = self._pool.get(name) if self.snapshot_pool else None
+        if snap is not None:
+            # Pool hit: materialize a microVM from the prebaked
+            # snapshot.  The restore delay is charged by the caller.
+            hv = self.testbed.clone(snap, charge=False)
+            self.testbed.costs.bump("faas_pool_hit")
+            kind = "restore"
+        else:
+            # Cold start: boot a slim Firecracker microVM for the
+            # function, and install the lambda handler's process.
+            hv = self.testbed.launch_firecracker(seccomp=False)
+            lambda_proc = GuestProcess(
+                f"lambda-{name}",
+                hv.guest.root_ns,
+                creds=Credentials(uid=1000, gid=1000),
+                cgroup=f"/faas/{name}",
+                pid_ns=f"lambda-{name}",
+            )
+            hv.guest.processes.add(lambda_proc)
+            kind = "cold"
         instance = LambdaInstance(
             instance_id=f"inst-{next(self._instance_counter)}",
             function=name,
@@ -148,8 +203,20 @@ class VHivePlatform:
             last_used_ns=self.testbed.clock.now,
         )
         self._instances[instance.instance_id] = instance
-        self._log(instance, "INFO", f"cold start for {name} (vmm pid {hv.pid})")
-        return instance, True
+        if kind == "restore":
+            self._log(
+                instance, "INFO",
+                f"restored {name} from snapshot pool (vmm pid {hv.pid})",
+            )
+        else:
+            self._log(instance, "INFO",
+                      f"cold start for {name} (vmm pid {hv.pid})")
+            if self.snapshot_pool:
+                # First boot of this function: bake the pool snapshot
+                # (charges the capture walk once, on the cold path).
+                self.testbed.costs.bump("faas_pool_miss")
+                self._pool[name] = self.testbed.snapshot(hv)
+        return instance, kind
 
     def _log(self, instance: LambdaInstance, level: str, message: str) -> None:
         self.logs.append(
@@ -179,10 +246,16 @@ class VHivePlatform:
             self._autoscaler = None
 
     def scale_down(self) -> List[str]:
-        """Terminate idle instances — unless pinned by a debug session."""
+        """Terminate idle instances — unless pinned by a debug session.
+
+        Terminated instances are *reaped*: popped from the live table
+        (so ``_instance_for``'s scan and the dict stay bounded over a
+        long fleet run) into a tombstone map that keeps log-driven
+        lookups working, with the VM graph released.
+        """
         now = self.testbed.clock.now
         terminated = []
-        for instance in self._instances.values():
+        for instance in list(self._instances.values()):
             if instance.terminated or instance.pinned:
                 continue
             if now - instance.last_used_ns >= self.IDLE_TIMEOUT_NS:
@@ -190,10 +263,19 @@ class VHivePlatform:
                 self.testbed.host.exit_process(instance.hypervisor.pid)
                 self._log(instance, "INFO", "scaled down")
                 terminated.append(instance.instance_id)
+                # Reap: drop the dead VM's object graph; the tombstone
+                # record keeps instance() (and "too late" errors) alive.
+                instance.hypervisor = None  # type: ignore[assignment]
+                self._retired[instance.instance_id] = self._instances.pop(
+                    instance.instance_id
+                )
         return terminated
 
     def instance(self, instance_id: str) -> LambdaInstance:
-        return self._instances[instance_id]
+        live = self._instances.get(instance_id)
+        if live is not None:
+            return live
+        return self._retired[instance_id]
 
     def live_instances(self) -> List[LambdaInstance]:
         return [i for i in self._instances.values() if not i.terminated]

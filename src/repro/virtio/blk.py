@@ -76,6 +76,13 @@ class RawDiskBackend(BlockBackend):
         )
 
     def write(self, sector: int, data: bytes) -> None:
+        if not data or len(data) % SECTOR_SIZE:
+            # A torn sector written here would be replayed faithfully
+            # by every snapshot restore — reject it at the device edge,
+            # mirroring the _service_request OUT-buffer check.
+            raise VirtioError(
+                f"disk write of {len(data)} bytes is not a sector multiple"
+            )
         self._kernel.syscall(
             self._iothread, "pwrite", self._fd, sector * SECTOR_SIZE, data
         )
@@ -110,6 +117,13 @@ class MappedImageBackend(BlockBackend):
     def write(self, sector: int, data: bytes) -> None:
         if not self.writable:
             raise VirtioError("image is read-only")
+        if not data or len(data) % SECTOR_SIZE:
+            # Bounds alone let a short write tear a sector in the
+            # mapped image; reject non-sector-multiple lengths exactly
+            # like the _service_request IOERR path expects.
+            raise VirtioError(
+                f"image write of {len(data)} bytes is not a sector multiple"
+            )
         start = sector * SECTOR_SIZE
         if start + len(data) > len(self._data):
             raise VirtioError("write beyond image end")
