@@ -309,7 +309,85 @@ def payload_pr6() -> dict:
     }
 
 
-EMITTERS = {3: payload_pr3, 4: payload_pr4, 5: payload_pr5, 6: payload_pr6}
+def payload_pr7() -> dict:
+    import tempfile
+
+    from repro.replay.fuzzer import AttachFuzzer
+    from repro.replay.recording import RunRecorder
+    from repro.replay.replayer import Replayer
+    from repro.replay.scenarios import run_scenario
+    from repro.sim import rng as simrng
+
+    seed = simrng.MASTER_SEED
+    cases = 200
+
+    # Fuzz throughput + coverage on the pinned seed (planted bug armed
+    # so the run exercises the full find -> shrink -> save path).
+    with tempfile.TemporaryDirectory() as corpus_dir:
+        fuzzer = AttachFuzzer(
+            master_seed=seed, corpus_dir=corpus_dir, plant_bug=True
+        )
+        report = fuzzer.run(cases)
+    planted = [f for f in report.failures if f.requires_plant]
+
+    # Record/replay round trip of the canonical fleet run with a
+    # mid-attach snapshot spliced in.
+    params = {"seed": seed, "fleet_size": 8, "snapshot_mid_attach": True}
+    recorder = RunRecorder("fleet", params)
+    result = run_scenario("fleet", params, on_testbed=recorder.attach)
+    recording = recorder.finish(outcome=result.outcome)
+    replay = Replayer().replay(recording)
+
+    return {
+        "pr": 7,
+        "title": "Record/replay of full runs + coverage-guided fuzzing "
+                 "of the attach pipeline",
+        "workload": f"{cases} pinned-seed fuzz cases (faults x quirks x "
+                    "hostile virtio drivers across 5 hypervisor flavors); "
+                    "8-VM fleet recording with rollback + mid-attach "
+                    "snapshot, replayed event by event",
+        "seed": seed,
+        "fuzz": {
+            "cases_run": report.cases_run,
+            "elapsed_s": round(report.elapsed_s, 2),
+            "cases_per_s": round(report.cases_per_s, 2),
+            "coverage_keys": len(report.coverage),
+            "coverage_novel_cases": report.interesting,
+            "violations_found": len(report.failures),
+            "planted_found": report.found_planted,
+            "planted_shrunk_specs": (
+                len(planted[0].shrunk.specs) if planted else None
+            ),
+            "organic_violations": len(
+                [f for f in report.failures if not f.requires_plant]
+            ),
+        },
+        "record_replay": {
+            "events_recorded": len(recording.events),
+            "recording_bytes": len(recording.to_json()),
+            "clock_end_ns": recording.clock_end_ns,
+            "sched_turns": recording.sched_turns,
+            "events_checked": replay.events_checked,
+        },
+        "headline": {
+            "replay_matched": replay.matched,
+            "fuzz_cases_per_s": round(report.cases_per_s, 2),
+            "fuzz_coverage_keys": len(report.coverage),
+            "planted_bug_rediscovered": report.found_planted,
+            "planted_shrunk_to_2_specs": bool(
+                planted and len(planted[0].shrunk.specs) <= 2
+            ),
+            "no_organic_violations": not any(
+                not f.requires_plant for f in report.failures
+            ),
+        },
+    }
+
+
+EMITTERS = {
+    3: payload_pr3, 4: payload_pr4, 5: payload_pr5, 6: payload_pr6,
+    7: payload_pr7,
+}
 
 
 def main(argv=None) -> None:

@@ -28,7 +28,16 @@ PYTHONPATH=src python benchmarks/emit.py --pr 3
 PYTHONPATH=src python benchmarks/emit.py --pr 4
 PYTHONPATH=src python benchmarks/emit.py --pr 5
 PYTHONPATH=src python benchmarks/emit.py --pr 6
+PYTHONPATH=src python benchmarks/emit.py --pr 7
 
 # Observability exports: the Perfetto trace of the canonical observed
 # fleet run must pass the trace-event schema check.
 PYTHONPATH=src python -m repro trace --out benchmarks/results/fleet-trace.json --validate
+
+# Fuzz smoke on the pinned seed: ~200 time-boxed cases must rediscover
+# the planted invariant violation (and find nothing organic), and every
+# committed corpus entry must still replay-fail deterministically.
+PYTHONPATH=src python -m repro fuzz --cases 200 --time-box 120 \
+    --seed "$VMSH_CHAOS_SEED" --plant-bug --require-planted \
+    --corpus-dir "$(mktemp -d)"
+PYTHONPATH=src python -m repro fuzz --replay tests/corpus

@@ -16,8 +16,9 @@ tracer cursor).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Callable, Optional
 
+from repro.core.snapshot import VmSnapshot
 from repro.sim.faults import PERMANENT, FaultPlan, FaultSpec
 from repro.testbed import Testbed
 from repro.units import SECTOR_SIZE
@@ -41,8 +42,33 @@ def _blk_io(disk, fill: int, sectors: int = IO_SECTORS):
     return b"".join(data)
 
 
+def _drive_to_boundary(tb, gen, boundary: str, interfere: Callable[[], None]):
+    """Drive an ``attach_task`` generator by hand, firing ``interfere``
+    at the named step boundary (same technique as the snapshot
+    determinism suite — integer yields advance the virtual clock,
+    string yields mark step boundaries)."""
+    fired = False
+    try:
+        yielded = gen.send(None)
+        while True:
+            if isinstance(yielded, int):
+                tb.clock.advance(yielded)
+            elif yielded == boundary and not fired:
+                fired = True
+                interfere()
+            yielded = gen.send(None)
+    except StopIteration as stop:
+        if not fired:
+            raise RuntimeError(f"attach never reached boundary {boundary!r}")
+        return stop.value
+
+
 def run_observed_fleet(
-    seed: Optional[int] = None, fleet_size: int = FLEET_SIZE
+    seed: Optional[int] = None,
+    fleet_size: int = FLEET_SIZE,
+    on_testbed: Optional[Callable[[Any], None]] = None,
+    snapshot_mid_attach: bool = False,
+    cost_params: Any = None,
 ) -> Testbed:
     """Run the scenario; returns the testbed with its hub populated.
 
@@ -50,9 +76,18 @@ def run_observed_fleet(
     run that actually exercised commit, rollback and queued I/O.  The
     scenario addresses five distinct VMs (neighbour, two attaches, the
     doomed one, the monitored one), so smaller fleets are rounded up.
+
+    ``on_testbed`` fires right after the testbed is built (recorders
+    and replay comparators hook the tracer there).
+    ``snapshot_mid_attach`` adds phase 1.5: a sixth VM's attach is
+    driven by hand to the ``load_library`` boundary, snapshotted and
+    restored in place, then completed — the record/replay round-trip
+    property covers snapshot traffic that way.
     """
-    fleet_size = max(fleet_size, 5)
-    tb = Testbed(trace=True, seed=seed)
+    fleet_size = max(fleet_size, 6 if snapshot_mid_attach else 5)
+    tb = Testbed(trace=True, seed=seed, cost_params=cost_params)
+    if on_testbed is not None:
+        on_testbed(tb)
     hvs = [tb.launch_qemu() for _ in range(fleet_size)]
 
     # VM 0: long-lived neighbour whose queues drain via a service task.
@@ -70,6 +105,20 @@ def run_observed_fleet(
     io_data, *sessions = tb.scheduler.run(io_task, *attach_tasks)
     if io_data != b"\xa1" * (IO_SECTORS * SECTOR_SIZE):
         raise RuntimeError("phase-1 I/O returned wrong data")
+
+    # Phase 1.5 (opt-in): a sixth VM snapshots + restores in place
+    # between two ATTACH_STEPS, then the attach completes normally.
+    if snapshot_mid_attach:
+        hv5 = hvs[5]
+
+        def interfere():
+            snap = VmSnapshot.capture(hv5)      # silent core path
+            snap.restore_into(hv5)
+
+        mid = _drive_to_boundary(
+            tb, tb.vmsh().attach_task(hv5.pid), "load_library", interfere
+        )
+        sessions.append(mid)
 
     # Phase 2: a doomed attach rolls back while I/O and an agent-less
     # monitor watch keep flowing.

@@ -103,6 +103,57 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="scale-to-zero churn cycles (default 8)",
     )
 
+    p_record = sub.add_parser(
+        "record", help="record a full run to a replayable trace file"
+    )
+    p_record.add_argument("--scenario", choices=("fleet", "attach"),
+                          default="fleet")
+    p_record.add_argument("--seed", type=lambda s: int(s, 0), default=None,
+                          help="master seed (default: the repo's pinned seed)")
+    p_record.add_argument("--fleet", type=int, default=8,
+                          help="fleet size for the fleet scenario")
+    p_record.add_argument("--snapshot-mid-attach", action="store_true",
+                          help="splice a snapshot/restore between two "
+                               "ATTACH_STEPS (fleet scenario)")
+    p_record.add_argument("--case", default=None,
+                          help="JSON case file for the attach scenario")
+    p_record.add_argument("--out", default="vmsh-run.json",
+                          help="output recording (default vmsh-run.json)")
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-execute a recording and cross-check it event by event",
+    )
+    p_replay.add_argument("recording", help="path to a recorded run")
+    p_replay.add_argument("--until", type=int, default=None, metavar="EVENT",
+                          help="stop at recorded event N and dump the "
+                               "span/metrics state instead of comparing to "
+                               "the end")
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided fuzzing of the attach pipeline "
+             "(or --replay DIR to re-run a saved corpus)",
+    )
+    p_fuzz.add_argument("--cases", type=int, default=200,
+                        help="number of cases to run (default 200)")
+    p_fuzz.add_argument("--seed", type=lambda s: int(s, 0), default=None,
+                        help="master seed (default: the repo's pinned seed)")
+    p_fuzz.add_argument("--corpus-dir", default=None,
+                        help="save shrunk failing cases here")
+    p_fuzz.add_argument("--time-box", type=float, default=None, metavar="SEC",
+                        help="stop after this much wall-clock time")
+    p_fuzz.add_argument("--plant-bug", action="store_true",
+                        help="arm the seeded invariant violation the smoke "
+                             "job must rediscover")
+    p_fuzz.add_argument("--require-planted", action="store_true",
+                        help="exit non-zero unless the planted bug was "
+                             "found AND no organic violations appeared")
+    p_fuzz.add_argument("--replay", default=None, metavar="DIR",
+                        help="replay every corpus entry in DIR instead of "
+                             "fuzzing; exit non-zero if any fails to "
+                             "reproduce")
+
     args = parser.parse_args(argv)
     handler = globals()[f"_cmd_{args.command.replace('-', '_')}"]
     return handler(args)
@@ -322,6 +373,120 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
           f"cloned to pid {clone.pid}, migrated to "
           f"pid {result.dest_pid} on host #{len(tb.hosts)}")
     return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.replay.recording import RunRecorder
+    from repro.replay.scenarios import run_scenario
+
+    if args.scenario == "fleet":
+        params = {
+            "seed": args.seed,
+            "fleet_size": args.fleet,
+            "snapshot_mid_attach": args.snapshot_mid_attach,
+        }
+    else:
+        if args.case is None:
+            print("error: --scenario attach needs --case FILE", file=sys.stderr)
+            return 2
+        params = {"case": json.loads(pathlib.Path(args.case).read_text())}
+    recorder = RunRecorder(args.scenario, params)
+    result = run_scenario(args.scenario, params, on_testbed=recorder.attach)
+    recording = recorder.finish(outcome=result.outcome)
+    out = recording.save(args.out)
+    print(f"wrote {out} ({len(recording.events)} events, "
+          f"clock end {recording.clock_end_ns} ns, "
+          f"{recording.sched_turns} scheduler turns, "
+          f"outcome {recording.outcome})")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.replay.recording import Recording
+    from repro.replay.replayer import Replayer
+
+    recording = Recording.load(args.recording)
+    report = Replayer().replay(recording, until=args.until)
+    if args.until is not None:
+        if report.dump is None:
+            print("replay ended before reaching the requested event",
+                  file=sys.stderr)
+            return 1
+        dump = report.dump
+        print(f"stopped at recorded event {dump['stopped_at']} "
+              f"(t={dump['time_ns']}ns, scheduler turn {dump['sched_turn']})")
+        print(f"open spans: {', '.join(dump['open_spans']) or 'none'}")
+        print(f"open attach steps: {', '.join(dump['open_steps']) or 'none'}")
+        print("recent events:")
+        for event in dump["recent_events"]:
+            print(f"  {event}")
+        print("metrics:")
+        print(json.dumps(dump["metrics"], indent=1, sort_keys=True))
+        return 0
+    if report.matched:
+        print(f"replay matched: {report.events_checked} events identical "
+              f"(outcome {report.outcome})")
+        return 0
+    print(report.divergence.describe(), file=sys.stderr)
+    return 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.replay.corpus import load_entries, replay_entry
+    from repro.replay.fuzzer import AttachFuzzer
+    from repro.sim import rng as simrng
+
+    if args.replay is not None:
+        entries = load_entries(args.replay)
+        if not entries:
+            print(f"no corpus entries under {args.replay}", file=sys.stderr)
+            return 1
+        failed = 0
+        for path, entry in entries:
+            verdict = replay_entry(entry)
+            status = "reproduced" if verdict["reproduced"] else "LOST"
+            print(f"{path.name}: {status} "
+                  f"(expected {verdict['expected']}, "
+                  f"observed {verdict['observed']})")
+            if not verdict["reproduced"]:
+                failed += 1
+        print(f"{len(entries) - failed}/{len(entries)} entries reproduced")
+        return 1 if failed else 0
+
+    seed = simrng.MASTER_SEED if args.seed is None else args.seed
+    fuzzer = AttachFuzzer(
+        master_seed=seed,
+        corpus_dir=args.corpus_dir,
+        plant_bug=args.plant_bug,
+        log=print,
+    )
+    report = fuzzer.run(args.cases, time_box_s=args.time_box)
+    print(f"{report.cases_run} cases in {report.elapsed_s:.1f}s "
+          f"({report.cases_per_s:.1f}/s), "
+          f"{len(report.coverage)} coverage keys, "
+          f"{report.interesting} coverage-novel cases, "
+          f"{len(report.failures)} violations")
+    for failure in report.failures:
+        print(f"  {failure.describe()}")
+        if failure.corpus_path:
+            print(f"    saved: {failure.corpus_path}")
+    organic = [f for f in report.failures if not f.requires_plant]
+    if args.require_planted:
+        if not report.found_planted:
+            print("FAIL: the planted invariant violation was not rediscovered",
+                  file=sys.stderr)
+            return 1
+        if organic:
+            print("FAIL: organic (non-planted) violations found",
+                  file=sys.stderr)
+            return 1
+        return 0
+    return 1 if organic else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -80,6 +80,37 @@ class PermanentFaultError(FaultInjectedError):
     """A fault that persists: every retry of the operation fails again."""
 
 
+class UnknownFaultSiteError(ReproError, ValueError):
+    """A :class:`~repro.sim.faults.FaultPlan` names a site no code checks.
+
+    Raised at *arm* time so a typo'd site (``attach.setup_irqfd`` vs
+    the real step name) fails fast instead of silently never firing.
+    """
+
+    def __init__(self, site: str, hint: str = ""):
+        detail = f"unknown fault site {site!r}"
+        if hint:
+            detail += f" — {hint}"
+        super().__init__(detail)
+        self.site = site
+
+
+# --------------------------------------------------------------------------
+# Record / replay
+# --------------------------------------------------------------------------
+
+class RecordingError(ReproError):
+    """A run recording could not be captured, loaded or replayed."""
+
+
+class RecordingOverflowError(RecordingError):
+    """The tracer hit ``max_events`` while a recording pinned the stream.
+
+    Eviction would silently drop events a replay needs; raise instead
+    so the recorder's caller can raise ``max_events`` or split the run.
+    """
+
+
 # --------------------------------------------------------------------------
 # KVM layer
 # --------------------------------------------------------------------------

@@ -444,6 +444,10 @@ class GuestPhysMemory:
     def __init__(self, vm: VmFd):
         self._vm = vm
 
+    def covers(self, gpa: int, length: int) -> bool:
+        """Is the whole range backed by one memslot (a read would work)?"""
+        return self._vm._memslots.try_lookup(gpa, length) is not None
+
     def read(self, gpa: int, length: int) -> bytes:
         slot = self._vm._memslots.lookup(gpa, length)
         return self._vm.owner.address_space.read(slot.gpa_to_hva(gpa), length)

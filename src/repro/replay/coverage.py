@@ -1,0 +1,69 @@
+"""Coverage signal for the fuzzer, extracted from the obs spine.
+
+A fuzz case's coverage is the *set of behaviours the run exhibited*,
+keyed by the span and counter names the observability spine already
+records: which ``ATTACH_STEPS`` ran (and how they ended), which undo
+actions and rollback paths fired, which fault sites injected, which
+virtio descriptor-validation errors tripped.  Volatile labels (pids,
+session ids, queue numbers) are normalised away so two runs that took
+the same paths through different VMs count as the same coverage.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, FrozenSet, Set
+
+_DIGITS = re.compile(r"\d+")
+
+#: metric label keys that describe *which path* fired rather than
+#: *which instance* fired — these survive normalisation.
+_PATH_LABELS = ("site", "reason", "status", "mode", "kind")
+
+#: metric subsystems whose counters are path-shaped (everything else —
+#: byte counts, latencies, per-VM gauges — is magnitude, not coverage).
+_PATH_SUBSYSTEMS = ("faults", "txn", "vring", "attach")
+
+
+def _normalise(text: str) -> str:
+    """Strip instance numbers: ``close fd 17`` and ``close fd 23`` are
+    the same undo path."""
+    return _DIGITS.sub("N", text)
+
+
+def coverage_keys(tb: Any, outcome: str = "") -> FrozenSet[str]:
+    """The coverage set of a finished run on ``tb``."""
+    keys: Set[str] = set()
+    for span in tb.obs.spans.spans:
+        attrs = span.attrs
+        if span.name == "attach.step":
+            status = attrs.get("status", "open")
+            keys.add(f"step:{attrs.get('step')}:{status}")
+        elif span.name == "txn.undo":
+            keys.add(f"undo:{_normalise(str(attrs.get('action')))}")
+            status = attrs.get("status")
+            if status not in (None, "ok"):
+                keys.add(f"undo-failed:{status}")
+        elif span.name == "txn.rollback":
+            keys.add(f"rollback:{attrs.get('failed_step')}")
+        elif span.name == "fault.injected":
+            keys.add(f"fault:{attrs.get('site')}")
+        elif span.name == "attach":
+            keys.add(f"attach:{attrs.get('status', 'open')}")
+        elif span.name == "attach.retry":
+            keys.add("attach:retried")
+    for key, _metric in tb.obs.metrics.walk():
+        subsystem, name = key[0], key[1]
+        family = subsystem.split(".", 1)[0]
+        if family not in _PATH_SUBSYSTEMS:
+            continue
+        labels = key[2] if len(key) > 2 else ()
+        kept = tuple(
+            f"{k}={_normalise(str(v))}"
+            for k, v in labels
+            if k in _PATH_LABELS
+        )
+        keys.add("ctr:" + family + "." + name + ("{" + ",".join(kept) + "}" if kept else ""))
+    if outcome:
+        keys.add(f"outcome:{_normalise(outcome)}")
+    return frozenset(keys)

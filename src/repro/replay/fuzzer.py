@@ -1,0 +1,249 @@
+"""Coverage-guided generative fuzzing of the attach pipeline.
+
+The fuzzer draws :class:`AttachCase` descriptions from a seed-derived
+RNG stream (``fuzz:case:<n>`` off the master seed — same master seed,
+same case sequence, across machines), executes each against the
+deterministic substrate, and keeps the cases that light up *new*
+coverage (span/counter paths from the obs spine) as mutation parents.
+
+Every invariant violation is checked for determinism, shrunk to a
+minimal fault plan, probed with the seeded-bug flag off (so corpus
+entries know whether they need it), and saved to the corpus directory
+CI replays.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Set
+
+from repro.replay.corpus import CorpusEntry, case_digest, save_entry
+from repro.replay.scenarios import (
+    VIRTIO_ABUSES,
+    AttachCase,
+    CaseResult,
+    run_attach_case,
+)
+from repro.replay.shrinker import shrink
+from repro.sim import rng as simrng
+from repro.sim.faults import PERMANENT, TRANSIENT, known_fault_sites
+
+#: flavor draw weights: qemu is the richest pipeline (ioregionfd,
+#: event_idx, full irqchip), so it gets the lion's share.
+_FLAVOR_WEIGHTS = (
+    ("qemu", 4),
+    ("kvmtool", 1),
+    ("firecracker", 1),
+    ("crosvm", 1),
+    ("cloud_hypervisor", 1),
+)
+
+
+@dataclass
+class FuzzFailure:
+    """One violation the fuzzer found (and shrank)."""
+
+    case: AttachCase
+    shrunk: AttachCase
+    violations: List[str]
+    deterministic: bool
+    requires_plant: bool
+    corpus_path: str = ""
+
+    def describe(self) -> str:
+        return (
+            f"{';'.join(self.violations)} — shrunk to "
+            f"[{self.shrunk.describe()}] "
+            f"({len(self.shrunk.specs)} fault specs"
+            f"{', needs planted bug' if self.requires_plant else ''})"
+        )
+
+
+@dataclass
+class FuzzReport:
+    cases_run: int = 0
+    elapsed_s: float = 0.0
+    coverage: Set[str] = field(default_factory=set)
+    interesting: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def cases_per_s(self) -> float:
+        return self.cases_run / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def found_planted(self) -> bool:
+        return any(f.requires_plant for f in self.failures)
+
+
+class AttachFuzzer:
+    """Generate, execute, triage and shrink attach cases."""
+
+    def __init__(
+        self,
+        master_seed: int = simrng.MASTER_SEED,
+        corpus_dir: Optional[str] = None,
+        plant_bug: bool = False,
+        log: Any = None,
+    ):
+        self.master_seed = master_seed
+        self.corpus_dir = corpus_dir
+        self.plant_bug = plant_bug
+        self._log = log or (lambda _msg: None)
+        # quirk sites mutate behaviour without failing the attach;
+        # everything else in the registry is a fault-injection site.
+        sites = sorted(known_fault_sites())
+        self._fault_sites = [s for s in sites if not s.startswith("quirk.")]
+        self._quirk_sites = [s for s in sites if s.startswith("quirk.")]
+        self._pool: List[AttachCase] = []      # coverage-novel parents
+        self._seen_failures: Set[str] = set()  # case digests already saved
+
+    # -- case generation ---------------------------------------------------
+
+    def _draw_flavor(self, rng) -> str:
+        total = sum(w for _, w in _FLAVOR_WEIGHTS)
+        pick = rng.randrange(total)
+        for flavor, weight in _FLAVOR_WEIGHTS:
+            pick -= weight
+            if pick < 0:
+                return flavor
+        return "qemu"
+
+    def _draw_spec(self, rng, site: str) -> Dict[str, Any]:
+        return {
+            "site": site,
+            "occurrence": 1 + rng.randrange(3),
+            "kind": PERMANENT if rng.random() < 0.4 else TRANSIENT,
+            "count": 1 + rng.randrange(2),
+        }
+
+    def generate(self, rng) -> AttachCase:
+        specs: List[Dict[str, Any]] = []
+        for _ in range(rng.randrange(4)):           # 0..3 fault specs
+            specs.append(self._draw_spec(rng, rng.choice(self._fault_sites)))
+        if self._quirk_sites and rng.random() < 0.3:
+            specs.append(
+                {"site": rng.choice(self._quirk_sites), "kind": PERMANENT}
+            )
+        return AttachCase(
+            seed=rng.randrange(1 << 32),
+            flavor=self._draw_flavor(rng),
+            ioregionfd=rng.random() < 0.85,
+            event_idx=rng.random() < 0.8,
+            retries=rng.randrange(3),
+            specs=tuple(specs),
+            virtio_abuse=(
+                rng.choice(VIRTIO_ABUSES) if rng.random() < 0.3 else None
+            ),
+        )
+
+    def mutate(self, parent: AttachCase, rng) -> AttachCase:
+        """One structural edit on a coverage-novel parent."""
+        moves = ["reseed", "flavor", "abuse", "add_spec"]
+        if parent.specs:
+            moves += ["drop_spec", "bump_occurrence"]
+        move = rng.choice(moves)
+        if move == "reseed":
+            return replace(parent, seed=rng.randrange(1 << 32))
+        if move == "flavor":
+            return replace(parent, flavor=self._draw_flavor(rng))
+        if move == "abuse":
+            return replace(
+                parent,
+                virtio_abuse=(
+                    None if parent.virtio_abuse else rng.choice(VIRTIO_ABUSES)
+                ),
+            )
+        if move == "add_spec":
+            spec = self._draw_spec(rng, rng.choice(self._fault_sites))
+            return replace(parent, specs=parent.specs + (spec,))
+        if move == "drop_spec":
+            i = rng.randrange(len(parent.specs))
+            return replace(
+                parent, specs=parent.specs[:i] + parent.specs[i + 1:]
+            )
+        i = rng.randrange(len(parent.specs))
+        bumped = dict(parent.specs[i])
+        bumped["occurrence"] = 1 + rng.randrange(4)
+        return replace(
+            parent, specs=parent.specs[:i] + (bumped,) + parent.specs[i + 1:]
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute(self, case: AttachCase) -> CaseResult:
+        try:
+            return run_attach_case(case, plant_bug=self.plant_bug)
+        except Exception as err:  # noqa: BLE001 - harness escape is a finding
+            return CaseResult(
+                outcome=f"harness-crash:{type(err).__name__}",
+                violations=[f"unhandled-exception:{type(err).__name__}"],
+                coverage=frozenset(
+                    {f"outcome:harness-crash:{type(err).__name__}"}
+                ),
+            )
+
+    def _still_fails(self, candidate: AttachCase, wanted: List[str]) -> bool:
+        result = self._execute(candidate)
+        return all(v in result.violations for v in wanted)
+
+    def _triage(self, case: AttachCase, result: CaseResult) -> FuzzFailure:
+        wanted = sorted(set(result.violations))
+        rerun = self._execute(case)
+        deterministic = sorted(set(rerun.violations)) == wanted
+        shrunk = shrink(case, lambda c: self._still_fails(c, wanted))
+        requires_plant = False
+        if self.plant_bug:
+            stock = run_attach_case(shrunk, plant_bug=False)
+            requires_plant = not all(v in stock.violations for v in wanted)
+        failure = FuzzFailure(
+            case=case,
+            shrunk=shrunk,
+            violations=wanted,
+            deterministic=deterministic,
+            requires_plant=requires_plant,
+        )
+        if self.corpus_dir is not None:
+            entry = CorpusEntry(
+                case=shrunk,
+                violations=wanted,
+                requires_plant=requires_plant,
+                found_by=f"fuzz:{self.master_seed:#x}",
+            )
+            failure.corpus_path = str(save_entry(entry, self.corpus_dir))
+        return failure
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(
+        self, cases: int, time_box_s: Optional[float] = None
+    ) -> FuzzReport:
+        report = FuzzReport()
+        started = time.monotonic()
+        for i in range(cases):
+            if time_box_s is not None:
+                if time.monotonic() - started > time_box_s:
+                    self._log(f"time box hit after {i} cases")
+                    break
+            rng = simrng.stream(f"fuzz:case:{i}", self.master_seed)
+            if self._pool and rng.random() < 0.5:
+                case = self.mutate(rng.choice(self._pool), rng)
+            else:
+                case = self.generate(rng)
+            result = self._execute(case)
+            report.cases_run += 1
+            novel = result.coverage - report.coverage
+            if novel:
+                report.coverage |= result.coverage
+                report.interesting += 1
+                self._pool.append(case)
+            if result.violations:
+                digest = case_digest(case)
+                if digest not in self._seen_failures:
+                    self._seen_failures.add(digest)
+                    failure = self._triage(case, result)
+                    report.failures.append(failure)
+                    self._log(f"case {i}: VIOLATION {failure.describe()}")
+        report.elapsed_s = time.monotonic() - started
+        return report

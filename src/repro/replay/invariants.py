@@ -1,0 +1,72 @@
+"""The safety invariants the fuzzer (and chaos suite) checks.
+
+The paper's core claim (§4, §6.2): a failed or aborted attach leaves
+the guest running and uncorrupted.  :func:`state_fingerprint` captures
+everything a failed attach must leave bit-identical — the chaos
+suite's ``snapshot_state`` delegates here so the 110-case matrix and
+the fuzzer enforce the *same* definition of "uncorrupted".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+#: fingerprint keys that must ALSO hold after a successful attach is
+#: detached again: the session gives back what it took from the VMSH
+#: process.  (The hypervisor side legitimately differs after a full
+#: attach/detach cycle only in ways detach() reconciles; the subset
+#: here is the part with an exact restore contract.)
+DETACH_STABLE_KEYS = ("vmsh_caps", "hv_tracer", "syscall_hooks")
+
+
+def state_fingerprint(tb: Any, hv: Any, vmsh: Any) -> Dict[str, Any]:
+    """Everything a failed attach must leave bit-identical.
+
+    Covers the hypervisor process (fd table, thread run state, tracer),
+    the KVM VM (memslots, irqfd/MSI routes, ioregions, ioeventfds, vCPU
+    register files), the guest page-table root page, and the VMSH
+    process itself (fds, capabilities) plus host-global eBPF programs
+    and syscall hooks.
+    """
+    vm = hv.vm
+    return {
+        "hv_fds": tuple(fd for fd, _ in hv.process.fds.items()),
+        "hv_threads": tuple((t.tid, t.stopped) for t in hv.process.threads),
+        "hv_tracer": None if hv.process.tracer is None else hv.process.tracer.pid,
+        "memslots": tuple(
+            (s.slot, s.gpa, s.size, s.hva) for s in vm.memslots()
+        ),
+        "irq_routes": tuple(sorted(vm.irq_routes)),
+        "msi_routes": tuple(sorted(vm._msi_routes)),
+        "ioregions": len(vm.ioregions),
+        "ioeventfds": len(vm.ioeventfds),
+        "vcpu_regs": tuple(tuple(sorted(v.regs.items())) for v in vm.vcpus),
+        "vcpu_sregs": tuple(tuple(sorted(v.sregs.items())) for v in vm.vcpus),
+        "pml4": vm.guest_memory().read(hv.guest.cr3, 4096),
+        "ebpf": tuple(
+            (point, len(progs))
+            for point, progs in sorted(tb.host._ebpf_programs.items())
+            if progs
+        ),
+        "syscall_hooks": tuple(sorted(tb.host._syscall_hooks)),
+        "vmsh_fds": tuple(fd for fd, _ in vmsh.process.fds.items()),
+        "vmsh_caps": frozenset(vmsh.process.capabilities),
+    }
+
+
+def diff_fingerprints(
+    before: Dict[str, Any],
+    after: Dict[str, Any],
+    keys: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Violations between two fingerprints, as ``state-leak:<key>``.
+
+    Returns an empty list when the state round-tripped; each entry
+    names exactly which piece of state leaked, which is what the
+    shrinker matches on when minimising a failing case.
+    """
+    leaks: List[str] = []
+    for key in keys if keys is not None else before.keys():
+        if after[key] != before[key]:
+            leaks.append(f"state-leak:{key}")
+    return leaks

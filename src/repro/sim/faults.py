@@ -40,14 +40,16 @@ Injection sites (checked wherever the named mechanism runs):
 
 from __future__ import annotations
 
+import re
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Sequence
 
 from repro.errors import (
     PermanentFaultError,
     SeccompViolationError,
     TransientFaultError,
+    UnknownFaultSiteError,
 )
 from repro.sim import rng as simrng
 
@@ -67,6 +69,95 @@ DEFAULT_CHAOS_SITES = (
     "ioctl.KVM_GET_SREGS",
     "physmem.read",
 )
+
+# ---------------------------------------------------------------------------
+# Known-site registry
+# ---------------------------------------------------------------------------
+#
+# The sites threaded through the simulated host form a closed set per
+# family; a FaultPlan naming a site outside it would never fire, so
+# arming one is a bug in the plan.  Families whose member set lives in
+# code we can enumerate are checked exactly; ioctl/kvm/syscall names
+# are open-ended (the host's tables grow), so those are checked for
+# *shape* — which still catches the classic typo of putting a step
+# name or a lowercase request where an uppercase one belongs.
+
+_PTRACE_SITES = frozenset(
+    {"ptrace.attach", "ptrace.interrupt", "ptrace.resume", "ptrace.inject_syscall"}
+)
+_SECCOMP_SITES = frozenset({"seccomp.injected"})
+_PHYSMEM_SITES = frozenset({"physmem.read", "physmem.write"})
+_QUIRK_SITES = frozenset({"quirk.ioregionfd_missing"})
+_UPPER_REQUEST = re.compile(r"^[A-Z][A-Z0-9_]*$")
+_SYSCALL_NAME = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+#: sites registered at runtime (tests, bespoke harnesses) on top of
+#: the built-in families above.
+_registered_sites: set = set()
+
+
+def register_fault_site(*sites: str) -> None:
+    """Declare extra injection sites as known (test harness hooks)."""
+    _registered_sites.update(sites)
+
+
+def _attach_steps() -> Sequence[str]:
+    from repro.core.vmsh import ATTACH_STEPS  # deferred: core imports sim
+
+    return ATTACH_STEPS
+
+
+def known_fault_sites() -> FrozenSet[str]:
+    """Every exactly-enumerable site (the fuzzer's generation pool).
+
+    Open-ended families (``ioctl.*``, ``kvm.*``, ``syscall.*``) are
+    represented by the members :data:`DEFAULT_CHAOS_SITES` names.
+    """
+    return frozenset(
+        {f"attach.{step}" for step in _attach_steps()}
+        | _PTRACE_SITES
+        | _SECCOMP_SITES
+        | _PHYSMEM_SITES
+        | _QUIRK_SITES
+        | set(DEFAULT_CHAOS_SITES)
+        | _registered_sites
+    )
+
+
+def validate_fault_site(site: str) -> None:
+    """Raise :class:`UnknownFaultSiteError` for a site nothing checks.
+
+    Sites outside the reserved family prefixes are left alone — tests
+    arm bespoke sites (``op``, ``cleanup.op``) against hand-rolled
+    ``check()`` calls, and that stays legal.
+    """
+    if site in _registered_sites:
+        return
+    family, _, member = site.partition(".")
+    checks = {
+        "attach": lambda: site in {f"attach.{s}" for s in _attach_steps()},
+        "ptrace": lambda: site in _PTRACE_SITES,
+        "seccomp": lambda: site in _SECCOMP_SITES,
+        "physmem": lambda: site in _PHYSMEM_SITES,
+        "quirk": lambda: site in _QUIRK_SITES,
+        "ioctl": lambda: bool(_UPPER_REQUEST.match(member)),
+        "kvm": lambda: bool(_UPPER_REQUEST.match(member)),
+        "syscall": lambda: bool(_SYSCALL_NAME.match(member)),
+    }
+    check = checks.get(family)
+    if check is None or check():
+        return
+    if family == "attach":
+        hint = "known steps: " + ", ".join(_attach_steps())
+    elif family in ("ioctl", "kvm"):
+        hint = "request names are UPPER_CASE, e.g. ioctl.KVM_IRQFD"
+    elif family == "syscall":
+        hint = "syscall names are lower_case, e.g. syscall.eventfd2"
+    else:
+        hint = "known members: " + ", ".join(
+            sorted(s for s in known_fault_sites() if s.startswith(family + "."))
+        )
+    raise UnknownFaultSiteError(site, hint)
 
 
 @dataclass(frozen=True)
@@ -184,7 +275,13 @@ class FaultInjector:
     # -- lifecycle ---------------------------------------------------------
 
     def arm(self, plan: FaultPlan) -> None:
-        """Install ``plan``; hit counters and the fired log restart."""
+        """Install ``plan``; hit counters and the fired log restart.
+
+        Every spec's site is validated against the known-site registry
+        first — a typo'd site fails here, not by silently never firing.
+        """
+        for spec in plan.specs:
+            validate_fault_site(spec.site)
         self._plan = plan
         self._hits = {}
         self.fired = []

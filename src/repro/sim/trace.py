@@ -10,8 +10,15 @@ to the guest").
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.errors import RecordingOverflowError
+
+#: detail value types that are copied at emit() so later in-place
+#: mutation by the emitter cannot rewrite already-recorded history.
+_MUTABLE_DETAIL_TYPES = (dict, list, set, bytearray)
 
 
 @dataclass(frozen=True)
@@ -38,26 +45,71 @@ class Tracer:
         self.enabled = True
         #: total events evicted to bound memory across all truncations
         self.dropped_events = 0
+        #: live consumers fed every event as it is emitted (recorders,
+        #: replay comparators); errors are not swallowed on purpose.
+        self._sinks: List[Callable[[Event], None]] = []
+        # recording-safe mode: >0 while a RunRecorder (or replay
+        # comparator) needs the stream complete — eviction raises.
+        self._pins = 0
+
+    # -- recording support -------------------------------------------------
+
+    def add_sink(self, sink: Callable[[Event], None]) -> None:
+        """Feed every future event to ``sink`` as it is emitted."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Event], None]) -> None:
+        self._sinks.remove(sink)
+
+    def pin(self) -> None:
+        """Enter recording-safe mode (nestable): eviction raises.
+
+        While pinned, hitting ``max_events`` raises
+        :class:`RecordingOverflowError` instead of silently dropping
+        the oldest half — a replay cross-checks *every* event, so a
+        truncated stream would be unverifiable.
+        """
+        self._pins += 1
+
+    def unpin(self) -> None:
+        self._pins -= 1
+
+    @property
+    def pinned(self) -> bool:
+        return self._pins > 0
 
     def emit(self, category: str, name: str, /, **detail: Any) -> None:
         if not self.enabled:
             return
         now = self._clock.now if self._clock is not None else 0
         if len(self.events) >= self._max_events:
+            if self._pins:
+                raise RecordingOverflowError(
+                    f"tracer hit max_events={self._max_events} while a "
+                    "recording is active; raise max_events or record a "
+                    "shorter run"
+                )
             # Drop oldest half to bound memory on very long runs, and
             # leave a marker so truncated traces are detectable.
             dropped = self._max_events // 2
             del self.events[:dropped]
             self.dropped_events += dropped
-            self.events.append(
-                Event(
-                    now,
-                    "tracer",
-                    "evicted",
-                    {"dropped": dropped, "total_dropped": self.dropped_events},
-                )
+            marker = Event(
+                now,
+                "tracer",
+                "evicted",
+                {"dropped": dropped, "total_dropped": self.dropped_events},
             )
-        self.events.append(Event(now, category, name, detail))
+            self.events.append(marker)
+            for sink in tuple(self._sinks):
+                sink(marker)
+        for key, value in detail.items():
+            if isinstance(value, _MUTABLE_DETAIL_TYPES):
+                detail[key] = copy.deepcopy(value)
+        event = Event(now, category, name, detail)
+        self.events.append(event)
+        for sink in tuple(self._sinks):
+            sink(event)
 
     def mark(self) -> int:
         """Return a cursor over the *logical* event stream.

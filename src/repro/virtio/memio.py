@@ -144,6 +144,17 @@ class GuestMemoryAccessor:
     def write(self, gpa: int, data: bytes) -> None:
         raise NotImplementedError
 
+    def covers(self, gpa: int, length: int) -> Optional[bool]:
+        """Is ``[gpa, gpa+length)`` backed by guest memory?
+
+        Device rings use this to reject guest-planted descriptors that
+        point into unmapped space *before* a payload copy dereferences
+        them.  Returns ``None`` when the accessor cannot answer without
+        performing the access (plain test memories) — the caller then
+        skips the pre-check and relies on the access itself to fail.
+        """
+        return None
+
     # Scatter-gather ----------------------------------------------------------
 
     def read_vectored(self, iov: Sequence[Tuple[int, int]]) -> bytes:
@@ -188,6 +199,10 @@ class InProcessAccessor(GuestMemoryAccessor):
         super().__init__()
         self._mem = guest_memory
         self._costs = costs
+
+    def covers(self, gpa: int, length: int) -> Optional[bool]:
+        backing = getattr(self._mem, "covers", None)
+        return backing(gpa, length) if backing is not None else None
 
     def read(self, gpa: int, length: int) -> bytes:
         self._costs.memcpy(length)
@@ -325,6 +340,13 @@ class RemoteProcessAccessor(GuestMemoryAccessor):
         self._thread = caller_thread
         self._pid = hypervisor_pid
         self._translator = translator
+
+    def covers(self, gpa: int, length: int) -> Optional[bool]:
+        try:
+            self._translator.to_hva_iov(gpa, length)
+        except VmshError:
+            return False
+        return True
 
     # -- hva run assembly -----------------------------------------------------
 

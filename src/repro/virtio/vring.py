@@ -224,6 +224,7 @@ class DeviceRing:
         self._used_event: Optional[int] = None
         # Optional registry scope (transports pass one per queue); the
         # counters are cached so the per-batch overhead is one branch.
+        self._metrics = metrics
         if metrics is not None:
             self._m_publishes = metrics.counter("used_publishes")
             self._m_entries = metrics.counter("used_entries")
@@ -234,6 +235,19 @@ class DeviceRing:
             self._m_entries = None
             self._m_irq_delivered = None
             self._m_irq_suppressed = None
+
+    def _parse_error(self, reason: str, message: str) -> None:
+        """Reject guest-controlled garbage: count it, then raise.
+
+        The ring's memory is written by the guest, so nothing read from
+        it can be trusted (VirtIO 1.1 §2.6.5's device requirements).
+        Every rejection lands in the registry as
+        ``vring.parse_errors{reason=...}`` — the fuzzer's coverage
+        signal for the descriptor-validation paths.
+        """
+        if self._metrics is not None:
+            self._metrics.counter("parse_errors", reason=reason).inc()
+        raise VirtioError(message)
 
     @property
     def used_event_gpa(self) -> int:
@@ -276,7 +290,10 @@ class DeviceRing:
         if pending == 0:
             return []
         if pending > self.size:
-            raise VirtioError("avail ring advanced past queue size (corrupt idx?)")
+            self._parse_error(
+                "avail_overflow",
+                "avail ring advanced past queue size (corrupt idx?)",
+            )
         ring_base = self.avail_gpa + AVAIL_HEADER
         start = self._last_avail % self.size
         if start + pending <= self.size:
@@ -315,11 +332,14 @@ class DeviceRing:
         chain: List[Descriptor] = []
         index = head
         seen = set()
+        covers = getattr(self._mem, "covers", None)
         while True:
             if index in seen:
-                raise VirtioError(f"descriptor loop at index {index}")
+                self._parse_error("desc_loop", f"descriptor loop at index {index}")
             if not 0 <= index < self.size:
-                raise VirtioError(f"descriptor index {index} out of range")
+                self._parse_error(
+                    "desc_index", f"descriptor index {index} out of range"
+                )
             seen.add(index)
             base = index * DESC_SIZE
             addr = int.from_bytes(table[base : base + 8], "little")
@@ -327,6 +347,18 @@ class DeviceRing:
             flags = int.from_bytes(table[base + 12 : base + 14], "little")
             next_index = int.from_bytes(table[base + 14 : base + 16], "little")
             has_next = bool(flags & VRING_DESC_F_NEXT)
+            if length == 0:
+                self._parse_error(
+                    "zero_len", f"zero-length descriptor at index {index}"
+                )
+            # Accessors that can answer cheaply veto unmapped buffers
+            # here, before any payload copy dereferences them.
+            if covers is not None and covers(addr, length) is False:
+                self._parse_error(
+                    "bad_gpa",
+                    f"descriptor {index} points at unmapped guest memory "
+                    f"{addr:#x} (+{length})",
+                )
             chain.append(
                 Descriptor(
                     index=index,

@@ -16,6 +16,9 @@ from repro.sim.faults import (
     NullFaultInjector,
     PERMANENT,
     TRANSIENT,
+    known_fault_sites,
+    register_fault_site,
+    validate_fault_site,
 )
 
 
@@ -161,6 +164,7 @@ def test_rearm_resets_hits_and_fired():
 
 
 def test_flag_quirk_records_without_raising():
+    register_fault_site("quirk.x")
     inj = FaultInjector()
     with inj.plan(FaultPlan([FaultSpec(site="quirk.x", kind=PERMANENT)])):
         assert inj.flag("quirk.x") is True
@@ -175,3 +179,48 @@ def test_null_injector_never_arms_never_fires():
         inj.arm(FaultPlan([FaultSpec(site="op")]))
     inj.check("op")
     assert inj.flag("quirk.x") is False
+
+
+# -- Known-site registry ----------------------------------------------------
+
+def test_arm_rejects_typoed_attach_site():
+    from repro.errors import UnknownFaultSiteError
+
+    inj = FaultInjector()
+    with pytest.raises(UnknownFaultSiteError, match="attach.setup_irqfd"):
+        inj.arm(FaultPlan([FaultSpec(site="attach.setup_irqfd")]))
+    assert not inj.armed
+
+
+def test_arm_rejects_misshapen_ioctl_and_syscall_sites():
+    from repro.errors import UnknownFaultSiteError
+
+    inj = FaultInjector()
+    # lowercase request name: the classic ioctl typo
+    with pytest.raises(UnknownFaultSiteError):
+        inj.arm(FaultPlan([FaultSpec(site="ioctl.kvm_irqfd")]))
+    # uppercase syscall name: family shapes are crossed
+    with pytest.raises(UnknownFaultSiteError):
+        inj.arm(FaultPlan([FaultSpec(site="syscall.EVENTFD2")]))
+
+
+def test_every_default_chaos_site_validates():
+    for site in DEFAULT_CHAOS_SITES:
+        validate_fault_site(site)
+    for site in known_fault_sites():
+        validate_fault_site(site)
+
+
+def test_registered_site_passes_validation():
+    from repro.errors import UnknownFaultSiteError
+
+    with pytest.raises(UnknownFaultSiteError):
+        validate_fault_site("quirk.bespoke_for_this_test")
+    register_fault_site("quirk.bespoke_for_this_test")
+    validate_fault_site("quirk.bespoke_for_this_test")
+    assert "quirk.bespoke_for_this_test" in known_fault_sites()
+
+
+def test_unreserved_sites_stay_free_form():
+    # bespoke harness sites outside the reserved families arm freely
+    FaultInjector().arm(FaultPlan([FaultSpec(site="cleanup.op")]))

@@ -1,0 +1,202 @@
+"""Unit coverage for the record/replay machinery.
+
+Recording format round trips, tracer recording-safety (pinning,
+eviction, detail deep-copy), coverage extraction, the attach-case
+harness, and the corpus entry format.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    RecordingError,
+    RecordingOverflowError,
+)
+from repro.replay.corpus import CorpusEntry, case_digest, save_entry
+from repro.replay.coverage import coverage_keys
+from repro.replay.recording import (
+    Recording,
+    RunRecorder,
+    encode_event,
+    jsonable,
+)
+from repro.replay.scenarios import AttachCase, run_attach_case
+from repro.sim.trace import Event, Tracer
+from repro.testbed import Testbed
+
+
+# ---------------------------------------------------------------------------
+# Canonical encoding
+# ---------------------------------------------------------------------------
+
+def test_jsonable_canonicalises_non_json_types():
+    assert jsonable((1, 2)) == [1, 2]
+    assert jsonable({1: "a"}) == {"1": "a"}
+    assert jsonable(b"\xde\xad") == {"__bytes__": "dead"}
+    assert jsonable({"nested": {2, 1}}) == {"nested": ["1", "2"]}
+    assert json.dumps(jsonable(object())).startswith('"<object')
+
+
+def test_encode_event_shape():
+    event = Event(7, "cat", "name", {"k": (1,)})
+    assert encode_event(event) == [7, "cat", "name", {"k": [1]}]
+
+
+# ---------------------------------------------------------------------------
+# Recording format
+# ---------------------------------------------------------------------------
+
+def _tiny_recording():
+    return Recording(
+        scenario="attach",
+        params={"case": AttachCase().to_json()},
+        master_seed=7,
+        cost_params={"x": 1},
+        events=[[0, "a", "b", None], [1, "c", "d", {"e": 2}]],
+        outcome="ok",
+    )
+
+
+def test_recording_round_trips(tmp_path):
+    rec = _tiny_recording()
+    path = rec.save(tmp_path / "run.json")
+    loaded = Recording.load(path)
+    assert loaded.events == rec.events
+    assert loaded.master_seed == rec.master_seed
+    assert loaded.params == rec.params
+
+
+def test_recording_rejects_wrong_format():
+    with pytest.raises(RecordingError, match="not a run recording"):
+        Recording.from_json(json.dumps({"format": "nope"}))
+
+
+def test_recording_rejects_future_version():
+    doc = json.loads(_tiny_recording().to_json())
+    doc["version"] = 99
+    with pytest.raises(RecordingError, match="version"):
+        Recording.from_json(json.dumps(doc))
+
+
+def test_recording_detects_truncation_and_tampering():
+    doc = json.loads(_tiny_recording().to_json())
+    truncated = dict(doc)
+    truncated["events"] = doc["events"][:1]
+    with pytest.raises(RecordingError, match="truncated"):
+        Recording.from_json(json.dumps(truncated))
+    tampered = json.loads(_tiny_recording().to_json())
+    tampered["events"][0][1] = "tampered"
+    with pytest.raises(RecordingError, match="digest"):
+        Recording.from_json(json.dumps(tampered))
+
+
+# ---------------------------------------------------------------------------
+# Tracer recording-safety (satellite: pin + deep-copy)
+# ---------------------------------------------------------------------------
+
+def test_pinned_tracer_raises_instead_of_evicting():
+    tracer = Tracer(max_events=4)
+    tracer.pin()
+    for i in range(4):
+        tracer.emit("t", f"e{i}")
+    with pytest.raises(RecordingOverflowError):
+        tracer.emit("t", "overflow")
+    tracer.unpin()
+    tracer.emit("t", "fine")        # unpinned again: eviction resumes
+    assert tracer.dropped_events > 0
+
+
+def test_emit_deep_copies_mutable_detail():
+    tracer = Tracer()
+    payload = {"inner": [1, 2]}
+    tracer.emit("t", "e", data=payload)
+    payload["inner"].append(3)
+    assert tracer.events[0].detail["data"] == {"inner": [1, 2]}
+
+
+def test_sink_sees_events_and_evictions():
+    tracer = Tracer(max_events=4)
+    seen = []
+    tracer.add_sink(seen.append)
+    for i in range(5):
+        tracer.emit("t", f"e{i}")
+    names = [event.name for event in seen]
+    assert "e4" in names
+    assert "evicted" in names       # the eviction marker reaches sinks too
+    tracer.remove_sink(seen.append)
+    tracer.emit("t", "unseen")
+    assert all(event.name != "unseen" for event in seen)
+
+
+def test_recorder_requires_traced_testbed():
+    recorder = RunRecorder("fleet", {})
+    tb = Testbed(trace=False)
+    with pytest.raises(RecordingError, match="trace=True"):
+        recorder.attach(tb)
+
+
+def test_recorder_captures_seed_costs_and_events():
+    recorder = RunRecorder("attach", {"case": AttachCase(seed=99).to_json()})
+    result = run_attach_case(AttachCase(seed=99), on_testbed=recorder.attach)
+    recording = recorder.finish(outcome=result.outcome)
+    assert recording.master_seed == 99
+    assert recording.events, "a traced attach emits events"
+    assert recording.clock_end_ns > 0
+    assert "ptrace_stop_ns" in recording.cost_params
+
+
+# ---------------------------------------------------------------------------
+# Coverage extraction
+# ---------------------------------------------------------------------------
+
+def test_coverage_distinguishes_outcomes_and_steps():
+    ok = run_attach_case(AttachCase())
+    failed = run_attach_case(
+        AttachCase(specs=({"site": "attach.hijack", "kind": "permanent"},))
+    )
+    assert "outcome:attached" in ok.coverage
+    assert "step:hijack:ok" in ok.coverage
+    assert "outcome:failed:PermanentFaultError" in failed.coverage
+    assert "step:hijack:failed" in failed.coverage
+    assert any(k.startswith("rollback:") for k in failed.coverage)
+    assert any(k.startswith("undo:") for k in failed.coverage)
+
+
+def test_coverage_normalises_instance_numbers():
+    result = run_attach_case(
+        AttachCase(specs=({"site": "attach.hijack", "kind": "permanent"},))
+    )
+    for key in result.coverage:
+        if key.startswith("undo:"):
+            assert not any(ch.isdigit() for ch in key), key
+
+
+# ---------------------------------------------------------------------------
+# Corpus entries
+# ---------------------------------------------------------------------------
+
+def test_corpus_entry_round_trips(tmp_path):
+    entry = CorpusEntry(
+        case=AttachCase(seed=5, specs=({"site": "attach.hijack"},)),
+        violations=["state-leak:vmsh_fds"],
+        requires_plant=True,
+        found_by="test",
+    )
+    path = save_entry(entry, tmp_path)
+    assert path.name == f"case-{case_digest(entry.case)}.json"
+    loaded = CorpusEntry.from_json(path.read_text())
+    assert loaded.case == entry.case
+    assert loaded.violations == entry.violations
+    assert loaded.requires_plant is True
+
+
+def test_corpus_entry_rejects_wrong_format():
+    with pytest.raises(RecordingError, match="not a corpus entry"):
+        CorpusEntry.from_json(json.dumps({"format": "zzz"}))
+
+
+def test_case_digest_is_stable_and_distinct():
+    a = AttachCase(seed=1)
+    assert case_digest(a) == case_digest(AttachCase(seed=1))
+    assert case_digest(a) != case_digest(AttachCase(seed=2))

@@ -3,8 +3,18 @@
 import pytest
 
 from repro.core.txn import AttachTransaction
-from repro.sim.faults import FaultInjector, FaultPlan, FaultSpec, PERMANENT
+from repro.sim.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    PERMANENT,
+    register_fault_site,
+)
 from repro.sim.trace import Tracer
+
+# these tests drive the txn against made-up step names, so their
+# attach.* sites are not in the pipeline's step registry
+register_fault_site("attach.two", "attach.go")
 
 
 class _Host:
