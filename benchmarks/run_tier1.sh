@@ -29,6 +29,11 @@ PYTHONPATH=src python benchmarks/emit.py --pr 4
 PYTHONPATH=src python benchmarks/emit.py --pr 5
 PYTHONPATH=src python benchmarks/emit.py --pr 6
 PYTHONPATH=src python benchmarks/emit.py --pr 7
+PYTHONPATH=src python benchmarks/emit.py --pr 8
+
+# Perf-regression gate: fleet-64 control-plane + I/O points against
+# the committed baseline (deterministic dims exact, wall in-band).
+PYTHONPATH=src python benchmarks/perf_gate.py
 
 # Observability exports: the Perfetto trace of the canonical observed
 # fleet run must pass the trace-event schema check.

@@ -160,11 +160,14 @@ class HostKernel:
         """
         if thread.seccomp_filter is not None:
             thread.seccomp_filter.check(name, thread.name)
-        self.faults.check(f"syscall.{name}", tid=thread.tid, injected=injected)
-        if injected:
-            # The Firecracker quirk (§6.2): a strict per-thread filter
-            # that kills exactly the syscalls VMSH injects.
-            self.faults.check("seccomp.injected", syscall=name, thread=thread.name)
+        if self.faults.active:
+            self.faults.check(f"syscall.{name}", tid=thread.tid, injected=injected)
+            if injected:
+                # The Firecracker quirk (§6.2): a strict per-thread
+                # filter that kills exactly the syscalls VMSH injects.
+                self.faults.check(
+                    "seccomp.injected", syscall=name, thread=thread.name
+                )
         counter = self._m_syscalls.get(name)
         if counter is None:
             counter = self._m_host.counter("syscalls", syscall=name)
@@ -199,7 +202,8 @@ class HostKernel:
         return 0
 
     def _sys_ioctl(self, thread: Thread, fd: int, request: str, arg: Any = None) -> Any:
-        self.faults.check(f"ioctl.{request}", fd=fd)
+        if self.faults.active:
+            self.faults.check(f"ioctl.{request}", fd=fd)
         obj = thread.process.fds.get(fd)
         ioctl = getattr(obj, "ioctl", None)
         if ioctl is None:

@@ -75,7 +75,8 @@ class KvmSystem(FileObject):
         self.vms: List["VmFd"] = []
 
     def ioctl(self, request: str, arg: Any, thread: Thread) -> Any:
-        self.kernel.faults.check(f"kvm.{request}")
+        if self.kernel.faults.active:
+            self.kernel.faults.check(f"kvm.{request}")
         if request == "KVM_CREATE_VM":
             vm = VmFd(self, owner=thread.process)
             self.vms.append(vm)
@@ -145,7 +146,8 @@ class VmFd(FileObject):
     def ioctl(self, request: str, arg: Any, thread: Thread) -> Any:
         # Every VM ioctl traverses kvm_vm_ioctl() in the host kernel —
         # the attach point of VMSH's memslot-snooping eBPF program.
-        self.kernel.faults.check(f"kvm.{request}")
+        if self.kernel.faults.active:
+            self.kernel.faults.check(f"kvm.{request}")
         self.kernel.ebpf_fire("kvm_vm_ioctl", vm=self, request=request)
         if request == "KVM_SET_USER_MEMORY_REGION":
             slot = self._memslots.set_region(

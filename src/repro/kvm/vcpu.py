@@ -43,7 +43,8 @@ class VcpuFd(FileObject):
     # -- ioctls ------------------------------------------------------------------
 
     def ioctl(self, request: str, arg: Any, thread: Thread) -> Any:
-        self.vm.kernel.faults.check(f"kvm.{request}", vcpu=self.index)
+        if self.vm.kernel.faults.active:
+            self.vm.kernel.faults.check(f"kvm.{request}", vcpu=self.index)
         if request == "KVM_GET_REGS":
             return dict(self.regs)
         if request == "KVM_SET_REGS":

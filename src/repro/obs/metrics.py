@@ -118,17 +118,27 @@ class MetricsRegistry:
     object.
     """
 
-    __slots__ = ("_store", "subsystem", "_labels")
+    __slots__ = ("_store", "subsystem", "_labels", "_handles")
 
     def __init__(
         self,
         _store: Optional[Dict[MetricKey, Metric]] = None,
         subsystem: str = "",
         labels: LabelPairs = (),
+        _handles: Optional[Dict[tuple, Metric]] = None,
     ) -> None:
         self._store = _store if _store is not None else {}
         self.subsystem = subsystem
         self._labels = labels
+        # Interned handle cache, shared across every scope view of one
+        # tree (like _store): maps a call-site-shaped key — raw label
+        # kwargs in call order, *before* str()-normalisation and
+        # sorting — straight to the metric object, so the hot path
+        # skips the merged-dict build and the sorted-tuple rebuild in
+        # ``_key``.  Keyed by (subsystem, view labels, kind, name,
+        # kwargs items) so two views that merge to different label
+        # sets can never collide.
+        self._handles = _handles if _handles is not None else {}
 
     # -- tree navigation ---------------------------------------------------
 
@@ -138,7 +148,7 @@ class MetricsRegistry:
         merged = dict(self._labels)
         merged.update({k: str(v) for k, v in labels.items()})
         return MetricsRegistry(
-            self._store, path, tuple(sorted(merged.items()))
+            self._store, path, tuple(sorted(merged.items())), self._handles
         )
 
     # -- metric accessors (get-or-create) ----------------------------------
@@ -153,6 +163,15 @@ class MetricsRegistry:
         return (self.subsystem, name, pairs)
 
     def _get(self, kind: str, name: str, labels: Dict[str, object]) -> Metric:
+        try:
+            handle = (self.subsystem, self._labels, kind, name,
+                      tuple(labels.items()))
+            metric = self._handles.get(handle)
+        except TypeError:           # unhashable label value: uncached path
+            handle = None
+            metric = None
+        if metric is not None:
+            return metric
         key = self._key(name, labels)
         metric = self._store.get(key)
         if metric is None:
@@ -163,6 +182,8 @@ class MetricsRegistry:
                 f"metric {key} already registered as {metric.kind}, "
                 f"requested {kind}"
             )
+        if handle is not None:
+            self._handles[handle] = metric
         return metric
 
     def counter(self, name: str, **labels: object) -> Counter:
@@ -175,8 +196,17 @@ class MetricsRegistry:
         return self._get("histogram", name, labels)  # type: ignore[return-value]
 
     def discard(self, name: str, **labels: object) -> None:
-        """Drop a metric from the tree (measurement-window resets)."""
-        self._store.pop(self._key(name, labels), None)
+        """Drop a metric from the tree (measurement-window resets).
+
+        Handle-cache entries resolving to the dropped object are purged
+        too, from every scope view (the cache is tree-shared) — a stale
+        handle would silently resurrect the orphaned object while the
+        store grows a fresh one, splitting the counts.
+        """
+        dead = self._store.pop(self._key(name, labels), None)
+        if dead is not None:
+            for handle in [h for h, m in self._handles.items() if m is dead]:
+                del self._handles[handle]
 
     # -- introspection / export --------------------------------------------
 

@@ -306,6 +306,19 @@ class FaultInjector:
     def armed(self) -> bool:
         return self._plan is not None
 
+    @property
+    def active(self) -> bool:
+        """True when :meth:`check` could do anything at all right now.
+
+        Exactly the early-out condition inside ``check``, exposed so
+        hot call sites (every syscall, ioctl and KVM request) can skip
+        building the ``f"site.{name}"`` string and the call itself
+        when no plan is armed — ``check`` neither counts hits nor
+        registers sites in that state, so gating on this is
+        behavior-identical.
+        """
+        return self._plan is not None and not self._suspend_depth
+
     @contextmanager
     def plan(self, plan: FaultPlan) -> Iterator["FaultInjector"]:
         """Scoped arm/disarm for tests."""

@@ -39,10 +39,19 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional
 
 from repro.sim import rng as simrng
 from repro.sim.clock import Clock
+
+#: recycled heap-entry slabs kept per scheduler — enough to cover the
+#: in-flight window of a 1k-VM fleet without unbounded growth.
+_ENTRY_POOL_MAX = 4096
+
+#: compact the heap once tombstones outnumber live entries (and there
+#: are enough of them for the O(n) rebuild to amortise).
+_TOMBSTONE_MIN = 64
 
 
 class SchedulerError(RuntimeError):
@@ -51,6 +60,8 @@ class SchedulerError(RuntimeError):
 
 class Waitable:
     """A one-shot completion a task can ``yield`` on."""
+
+    __slots__ = ("_done", "_result", "_error", "_callbacks")
 
     def __init__(self) -> None:
         self._done = False
@@ -95,6 +106,8 @@ class Waitable:
 class Completion(Waitable):
     """Externally-settable :class:`Waitable` (a one-shot event/future)."""
 
+    __slots__ = ()
+
     def set(self, result: Any = None) -> None:
         if not self._done:
             self._finish(result=result)
@@ -105,19 +118,32 @@ class Completion(Waitable):
 
 
 class Timer:
-    """Handle for one scheduled event; ``cancel()`` elides it."""
+    """Handle for one scheduled event; ``cancel()`` elides it.
 
-    __slots__ = ("time_ns", "label", "fn", "cancelled", "fired")
+    Cancellation is *lazy*: the heap entry stays queued as a tombstone
+    and is skipped (uncounted) when popped.  The owning scheduler
+    tracks the tombstone population and compacts the heap in place once
+    the dead entries outnumber the live ones, so a cancelled-timer
+    storm cannot degrade every later push/pop.
+    """
 
-    def __init__(self, time_ns: int, fn: Callable[[], None], label: str):
+    __slots__ = ("time_ns", "label", "fn", "cancelled", "fired", "_sched")
+
+    def __init__(self, time_ns: int, fn: Callable[[], None], label: str,
+                 sched: Optional["Scheduler"] = None):
         self.time_ns = time_ns
         self.label = label
         self.fn = fn
         self.cancelled = False
         self.fired = False
+        self._sched = sched
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self.fired and self._sched is not None:
+            self._sched._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "fired" if self.fired else ("cancelled" if self.cancelled else "armed")
@@ -161,6 +187,8 @@ class PeriodicTimer:
 class Task(Waitable):
     """A cooperative generator task driven by the scheduler."""
 
+    __slots__ = ("_sched", "_gen", "label", "steps", "cancelled")
+
     def __init__(self, sched: "Scheduler", gen: Generator, label: str):
         super().__init__()
         self._sched = sched
@@ -182,13 +210,23 @@ class Task(Waitable):
         if self._done:
             return
         self.steps += 1
-        obs = self._sched.obs
+        sched = self._sched
+        obs = sched.obs
         turn = None
         if obs is not None:
-            self._sched._m_turns.inc()
-            turn = obs.spans.begin(
-                "sched.turn", track=f"task:{self.label}", turn=self.steps
-            )
+            # Batched like the loop's events counter: accumulated here,
+            # flushed into the registry at loop exit — final totals are
+            # identical, one Counter.inc per run instead of per turn.
+            sched._turns_pending += 1
+            # The turn-span fast path: at reduced observability levels
+            # ("fleet"/"counters") the begin/end pair — and the span +
+            # attrs-dict allocations behind it — is skipped entirely.
+            # Metrics above are charged either way, so levels only
+            # thin the span stream, never the counters.
+            if sched._record_turns:
+                turn = obs.spans.begin(
+                    "sched.turn", track=f"task:{self.label}", turn=self.steps
+                )
         try:
             if throw is not None:
                 yielded = self._gen.throw(throw)
@@ -209,34 +247,54 @@ class Task(Waitable):
         self._park(yielded)
 
     def _park(self, yielded: Any) -> None:
+        # Calls at() directly (after() would re-read the clock property
+        # a second time) — same timer labels, same single tiebreak draw
+        # per park, so interleavings are untouched.
         sched = self._sched
-        if yielded is None or isinstance(yielded, str):
-            label = yielded if isinstance(yielded, str) else self.label
-            sched.after(0, self._step, label=label)
+        kind = type(yielded)
+        # Exact-type dispatch: the common yields (None / plain int /
+        # plain str) resolve in one identity check each; `type is int`
+        # naturally excludes bool, so the subclass guard only runs on
+        # the cold fallback chain below.
+        if yielded is None:
+            sched.at(0, self._step, label=self.label)
+        elif kind is int:
+            if yielded < 0:
+                raise SchedulerError(
+                    f"task {self.label!r} yielded a negative sleep"
+                )
+            sched.at(sched.clock._now + yielded, self._step, label=self.label)
+        elif kind is str:
+            sched.at(0, self._step, label=yielded)
+        elif isinstance(yielded, Waitable):
+            yielded.add_done_callback(self._resume_from)
         elif isinstance(yielded, bool):
             raise SchedulerError(f"task {self.label!r} yielded a bool")
+        elif isinstance(yielded, str):
+            sched.at(0, self._step, label=yielded)
         elif isinstance(yielded, int):
             if yielded < 0:
                 raise SchedulerError(
                     f"task {self.label!r} yielded a negative sleep"
                 )
-            sched.after(yielded, self._step, label=self.label)
-        elif isinstance(yielded, Waitable):
-            yielded.add_done_callback(self._resume_from)
+            sched.at(sched.clock._now + yielded, self._step, label=self.label)
         else:
             raise SchedulerError(
                 f"task {self.label!r} yielded unsupported {yielded!r}"
             )
 
     def _resume_from(self, waitable: Waitable) -> None:
-        if waitable.error is not None:
-            self._sched.after(
-                0, lambda: self._step(throw=waitable.error), label=self.label
-            )
+        error = waitable._error
+        if error is not None:
+            self._sched.at(0, lambda: self._step(throw=error), label=self.label)
+        elif waitable._result is None:
+            # The common wake (gates/joins carry no value): _step's
+            # default value is None, so the bound method itself is the
+            # callback — no closure allocation on the handoff path.
+            self._sched.at(0, self._step, label=self.label)
         else:
-            self._sched.after(
-                0, lambda: self._step(waitable._result), label=self.label
-            )
+            result = waitable._result
+            self._sched.at(0, lambda: self._step(result), label=self.label)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self._done else "running"
@@ -247,12 +305,39 @@ class Scheduler:
     """Deterministic discrete-event loop over a virtual clock."""
 
     def __init__(self, clock: Optional[Clock] = None, label: str = "sched",
-                 master_seed: int = simrng.MASTER_SEED, obs: Any = None):
+                 master_seed: int = simrng.MASTER_SEED, obs: Any = None,
+                 fast: bool = True, ready_ring: bool = False):
         self.clock = clock if clock is not None else Clock()
         self.label = label
         self._tiebreak = simrng.stream(f"sched:{label}", master_seed)
-        self._heap: List[Tuple[int, int, int, int, Timer]] = []
+        # Heap entries are 5-slot *lists* (not tuples) so popped slabs
+        # can be recycled through ``_entry_pool`` — ``at()`` on the hot
+        # path then costs zero allocations besides the Timer itself.
+        # Lists compare elementwise exactly like tuples and ``seq``
+        # keeps every key unique, so heap order is unchanged.
+        self._heap: List[list] = []
+        self._entry_pool: List[list] = []
+        self._tombstones = 0
         self._seq = itertools.count()
+        #: interned "start:<label>" strings so spawn storms don't build
+        #: the same f-string once per task.
+        self._start_labels: dict = {}
+        #: task turns accumulated since the last loop exit (flushed
+        #: into the ``task_turns`` counter by both dispatch loops).
+        self._turns_pending = 0
+        #: opt-out ablation knob: ``False`` restores the pre-fast-path
+        #: dispatch loop (per-event closure checks, per-event metric
+        #: increments, O(waitables) completion scans in :meth:`run`).
+        #: Both settings dispatch the identical event sequence.
+        self.fast = fast
+        #: opt-in O(1) FIFO ring for zero-delay priority-0 events.
+        #: Ring events skip the heap *and* the seed-derived tiebreak
+        #: draw, so enabling it changes interleavings (still fully
+        #: deterministic: strict FIFO) — default off to preserve
+        #: seed-exact traces.
+        self._ready: Optional[Deque[Timer]] = deque() if ready_ring else None
+        if ready_ring and not fast:
+            raise SchedulerError("ready_ring requires the fast dispatch loop")
         #: True while an event loop (run_until_idle/run_until/run) is
         #: dispatching — the flag :meth:`HostKernel.wakeup` gates on.
         self.running = False
@@ -262,6 +347,10 @@ class Scheduler:
         #: when set, every task turn records a span on that task's
         #: track and dispatch/spawn counts land in the registry.
         self.obs = obs
+        #: whether task turns open "sched.turn" spans; recomputed from
+        #: the hub's span level at every loop entry so a level change
+        #: takes effect on the next run.
+        self._record_turns = obs is not None
         if obs is not None:
             scope = obs.metrics.scope("sched", loop=label)
             self._m_events = scope.counter("events_dispatched")
@@ -278,7 +367,8 @@ class Scheduler:
 
     def pending(self) -> int:
         """Events still queued (cancelled entries included until popped)."""
-        return len(self._heap)
+        ready = self._ready
+        return len(self._heap) + (len(ready) if ready is not None else 0)
 
     def at(self, time_ns: int, fn: Callable[[], None],
            label: str = "event", priority: int = 0) -> Timer:
@@ -288,20 +378,69 @@ class Scheduler:
         backwards.  Ties on (time, priority) are broken by a
         seed-derived random draw, then by insertion order.
         """
-        when = max(time_ns, self.clock.now)
-        timer = Timer(when, fn, label)
-        heapq.heappush(
-            self._heap,
-            (when, priority, self._tiebreak.getrandbits(32), next(self._seq), timer),
-        )
+        now = self.clock._now
+        when = time_ns if time_ns > now else now
+        ready = self._ready
+        if ready is not None and when == now and priority == 0:
+            # Ready ring: already-due work dispatches FIFO in O(1),
+            # no heap sift and no tiebreak draw.  Ring timers carry no
+            # scheduler back-ref — their tombstones live in the ring,
+            # not the heap, so they must not skew heap compaction.
+            timer = Timer(when, fn, label)
+            ready.append(timer)
+            return timer
+        timer = Timer(when, fn, label, self)
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = when
+            entry[1] = priority
+            entry[2] = self._tiebreak.getrandbits(32)
+            entry[3] = next(self._seq)
+            entry[4] = timer
+        else:
+            entry = [when, priority, self._tiebreak.getrandbits(32),
+                     next(self._seq), timer]
+        heapq.heappush(self._heap, entry)
         return timer
+
+    def _note_cancelled(self) -> None:
+        """Count a heap tombstone; compact once they dominate the heap."""
+        self._tombstones += 1
+        heap = self._heap
+        if self._tombstones > _TOMBSTONE_MIN and self._tombstones * 2 > len(heap):
+            # In-place rebuild so loops holding a local binding to the
+            # heap list observe the compaction.  Filtering preserves
+            # the entries' total order keys, so the surviving pop
+            # sequence is exactly the lazy-deletion one minus skips.
+            heap[:] = [e for e in heap if not e[4].cancelled]
+            heapq.heapify(heap)
+            self._tombstones = 0
+
+    def enable_ready_ring(self) -> None:
+        """Opt into the O(1) FIFO ring for zero-delay priority-0 events.
+
+        Same effect as constructing with ``ready_ring=True`` — ring
+        events skip the heap sift *and* the seed-derived tiebreak
+        draw, so interleavings change (strict FIFO instead of random
+        tie-breaking; still fully deterministic).  Only the placement
+        of *future* ``at()`` calls is affected, so this can be flipped
+        between runs; it cannot be combined with ``fast=False``.
+        """
+        if not self.fast:
+            raise SchedulerError("ready_ring requires the fast dispatch loop")
+        if self._ready is None:
+            self._ready = deque()
 
     def after(self, delta_ns: int, fn: Callable[[], None],
               label: str = "event", priority: int = 0) -> Timer:
-        return self.at(self.clock.now + delta_ns, fn, label=label, priority=priority)
+        return self.at(self.clock._now + delta_ns, fn, label=label,
+                       priority=priority)
 
     def call_soon(self, fn: Callable[[], None], label: str = "event") -> Timer:
-        return self.after(0, fn, label=label)
+        # at() clamps past times to now, so 0 means "now" — one frame
+        # and one clock read cheaper than going through after().
+        return self.at(0, fn, label=label)
 
     def every(self, period_ns: int, fn: Callable[[], None],
               label: str = "timer") -> PeriodicTimer:
@@ -312,21 +451,30 @@ class Scheduler:
         task = Task(self, gen, label)
         if self._m_spawned is not None:
             self._m_spawned.inc()
-        self.call_soon(task._step, label=f"start:{label}")
+        labels = self._start_labels
+        start = labels.get(label)
+        if start is None:
+            start = labels[label] = f"start:{label}"
+        self.at(0, task._step, label=start)
         return task
 
     # -- event loops ----------------------------------------------------------
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
         """Dispatch events until the queue empties; returns the count."""
+        if self.fast:
+            return self._fast_loop(None, None, max_events)
         return self._loop(lambda: bool(self._heap), max_events)
 
     def run_until(self, deadline_ns: int, max_events: int = 1_000_000) -> int:
         """Dispatch events due up to ``deadline_ns``, then land there."""
-        ran = self._loop(
-            lambda: bool(self._heap) and self._heap[0][0] <= deadline_ns,
-            max_events,
-        )
+        if self.fast:
+            ran = self._fast_loop(deadline_ns, None, max_events)
+        else:
+            ran = self._loop(
+                lambda: bool(self._heap) and self._heap[0][0] <= deadline_ns,
+                max_events,
+            )
         if self.clock.now < deadline_ns:
             self.clock.advance(deadline_ns - self.clock.now)
         return ran
@@ -337,10 +485,38 @@ class Scheduler:
         Returns their results in order (errors re-raise).  Raises if
         the queue drains with a waitable still pending — a deadlocked
         task, usually one parked on a completion nobody will set.
+
+        The fast path tracks completion with an O(1) countdown fed by
+        done-callbacks instead of re-scanning every waitable per event
+        — at fleet scale the scan was the single hottest line in the
+        loop.  The stop condition is identical: the loop exits as soon
+        as the event that completed the last waitable returns.
         """
-        outstanding = lambda: any(not w.done for w in waitables)  # noqa: E731
-        self._loop(lambda: outstanding() and bool(self._heap), max_events)
-        if outstanding():
+        if not self.fast:
+            outstanding = lambda: any(not w.done for w in waitables)  # noqa: E731
+            self._loop(lambda: outstanding() and bool(self._heap), max_events)
+            if outstanding():
+                stuck = [w for w in waitables if not w.done]
+                raise SchedulerError(
+                    f"scheduler went idle with {len(stuck)} waitable(s) pending: "
+                    + ", ".join(getattr(w, "label", repr(w)) for w in stuck)
+                )
+            return [w.result() for w in waitables]
+        remaining = [0]
+
+        def _one_done(_w: Waitable) -> None:
+            remaining[0] -= 1
+
+        seen = set()
+        for w in waitables:
+            if id(w) in seen:       # duplicates must not double-count
+                continue
+            seen.add(id(w))
+            if not w.done:
+                remaining[0] += 1
+                w.add_done_callback(_one_done)
+        self._fast_loop(None, remaining, max_events)
+        if remaining[0]:
             stuck = [w for w in waitables if not w.done]
             raise SchedulerError(
                 f"scheduler went idle with {len(stuck)} waitable(s) pending: "
@@ -348,10 +524,92 @@ class Scheduler:
             )
         return [w.result() for w in waitables]
 
-    def _loop(self, keep_going: Callable[[], bool], max_events: int) -> int:
+    def _fast_loop(self, deadline_ns: Optional[int],
+                   remaining: Optional[list], max_events: int) -> int:
+        """Batched dispatch: the one loop behind all three fast entry points.
+
+        Hot-path disciplines, each preserving the exact legacy dispatch
+        sequence: hoisted local bindings (heap/clock/pool), a drain that
+        only touches the clock when time actually moves (same-timestamp
+        runs skip the advance branch), tombstones recycled without
+        counting, popped entry slabs returned to the freelist, and the
+        per-event registry increment batched into one ``inc(ran)`` at
+        loop exit (nothing reads the counter mid-loop; exports see the
+        same total).
+        """
         if self.running:
             raise SchedulerError("scheduler loop is already running")
         self.running = True
+        obs = self.obs
+        self._record_turns = obs is not None and obs.spans.records("sched.turn")
+        heap = self._heap
+        ready = self._ready
+        pool = self._entry_pool
+        heappop = heapq.heappop
+        clock = self.clock
+        ran = 0
+        try:
+            while True:
+                if remaining is not None and not remaining[0]:
+                    break
+                if ready:
+                    if deadline_ns is not None and clock._now > deadline_ns:
+                        break
+                    if ran >= max_events:
+                        raise SchedulerError(
+                            f"scheduler exceeded {max_events} events "
+                            "(runaway loop?)"
+                        )
+                    timer = ready.popleft()
+                    if timer.cancelled:
+                        continue
+                    timer.fired = True
+                    self.events_run += 1
+                    ran += 1
+                    timer.fn()
+                    continue
+                if not heap:
+                    break
+                time_ns = heap[0][0]
+                if deadline_ns is not None and time_ns > deadline_ns:
+                    break
+                if ran >= max_events:
+                    raise SchedulerError(
+                        f"scheduler exceeded {max_events} events (runaway loop?)"
+                    )
+                entry = heappop(heap)
+                timer = entry[4]
+                entry[4] = None
+                if len(pool) < _ENTRY_POOL_MAX:
+                    pool.append(entry)
+                if timer.cancelled:
+                    self._tombstones -= 1
+                    continue
+                if time_ns > clock._now:
+                    clock.advance(time_ns - clock._now)
+                timer.fired = True
+                self.events_run += 1
+                ran += 1
+                timer.fn()
+        finally:
+            self.running = False
+            if self._m_events is not None:
+                if ran:
+                    self._m_events.inc(ran)
+                if self._turns_pending:
+                    self._m_turns.inc(self._turns_pending)
+                    self._turns_pending = 0
+        return ran
+
+    def _loop(self, keep_going: Callable[[], bool], max_events: int) -> int:
+        """Legacy dispatch loop — kept verbatim as the ``fast=False``
+        ablation baseline (per-event closure evaluation and metric
+        increments)."""
+        if self.running:
+            raise SchedulerError("scheduler loop is already running")
+        self.running = True
+        obs = self.obs
+        self._record_turns = obs is not None and obs.spans.records("sched.turn")
         ran = 0
         try:
             while keep_going():
@@ -363,10 +621,18 @@ class Scheduler:
             return ran
         finally:
             self.running = False
+            if self._m_turns is not None and self._turns_pending:
+                self._m_turns.inc(self._turns_pending)
+                self._turns_pending = 0
 
     def _dispatch_next(self) -> int:
-        time_ns, _prio, _tb, _seq, timer = heapq.heappop(self._heap)
+        entry = heapq.heappop(self._heap)
+        time_ns, timer = entry[0], entry[4]
+        entry[4] = None
+        if len(self._entry_pool) < _ENTRY_POOL_MAX:
+            self._entry_pool.append(entry)
         if timer.cancelled:
+            self._tombstones -= 1
             return 0
         if time_ns > self.clock.now:
             self.clock.advance(time_ns - self.clock.now)

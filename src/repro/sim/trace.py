@@ -103,13 +103,22 @@ class Tracer:
             self.events.append(marker)
             for sink in tuple(self._sinks):
                 sink(marker)
-        for key, value in detail.items():
-            if isinstance(value, _MUTABLE_DETAIL_TYPES):
-                detail[key] = copy.deepcopy(value)
-        event = Event(now, category, name, detail)
-        self.events.append(event)
-        for sink in tuple(self._sinks):
-            sink(event)
+        # The defensive deep copy exists for *recorded* streams: a
+        # replay comparator or recorder sink must never see history
+        # rewritten by an emitter mutating its detail dict in place.
+        # With no sink and no pin, nothing re-reads the stored detail
+        # against a later mutation, so the hot path skips the copy —
+        # emit() is then one Event alloc and a list append.
+        if self._sinks or self._pins:
+            for key, value in detail.items():
+                if isinstance(value, _MUTABLE_DETAIL_TYPES):
+                    detail[key] = copy.deepcopy(value)
+            event = Event(now, category, name, detail)
+            self.events.append(event)
+            for sink in tuple(self._sinks):
+                sink(event)
+        else:
+            self.events.append(Event(now, category, name, detail))
 
     def mark(self) -> int:
         """Return a cursor over the *logical* event stream.

@@ -42,14 +42,20 @@ class Testbed:
         trace: bool = False,
         arch: str = "x86_64",
         seed: Optional[int] = None,
+        obs_level: str = "full",
+        obs_sample_every: Optional[int] = None,
     ):
         from repro.arch import arch_by_name
 
         self.clock = Clock()
         #: root observability hub: every layer's spans and metrics land
         #: here (threaded through ``CostModel.obs``), so one snapshot
-        #: or Perfetto export covers the whole testbed.
-        self.obs = Observability(self.clock)
+        #: or Perfetto export covers the whole testbed.  ``obs_level``
+        #: selects the span-volume level ("full"/"fleet"/"counters")
+        #: for fleet-scale runs — metrics are identical at every level.
+        self.obs = Observability(
+            self.clock, level=obs_level, sample_every=obs_sample_every
+        )
         self.costs = CostModel(self.clock, cost_params, obs=self.obs)
         self.tracer = Tracer(self.clock) if trace else None
         self.host = HostKernel(self.clock, self.costs, self.tracer)
@@ -99,11 +105,22 @@ class Testbed:
         ram_bytes: int = 512 * MiB,
         disk: Optional[HostFile] = None,
         root_files: Optional[Dict[str, Optional[bytes]]] = None,
+        host: Optional[HostKernel] = None,
         **kwargs,
     ) -> Hypervisor:
+        """Boot a VM; ``host`` places it on an :meth:`add_host` machine
+        (default: the primary host)."""
+        if host is None:
+            host, kvm = self.host, self.kvm
+        else:
+            kvm = self.hosts.get(host)
+            if kvm is None:
+                raise KeyError(
+                    "host is not part of this testbed — use add_host()"
+                )
         hv = cls(
-            self.host,
-            self.kvm,
+            host,
+            kvm,
             guest_version=guest_version,
             vcpus=vcpus,
             ram_bytes=ram_bytes,

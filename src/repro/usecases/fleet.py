@@ -1,0 +1,301 @@
+"""Sharded serverless control plane: vHive at 1,000-VM fleet scale.
+
+One :class:`~repro.usecases.serverless.VHivePlatform` is a single
+control loop: one autoscaler, one instance table, one host.  Pushing
+the fleet three orders of magnitude means none of those can stay
+global, so :class:`FleetControlPlane` shards the platform:
+
+* **Per-shard platforms and autoscalers.**  Shard 0 lives on the
+  testbed's primary host; every further shard gets its own simulated
+  machine via :meth:`~repro.testbed.Testbed.add_host` — own pid
+  namespace, own /dev/kvm — and its own idle-scale-down timer, so no
+  single control loop ever scans the whole fleet.
+* **Deterministic placement.**  A function's home shard is
+  ``crc32(name) % shards`` (``zlib.crc32``, not ``hash()`` — Python
+  randomizes the latter per process, which would break same-seed
+  byte-identity).  With ``balance=True``, an invocation that finds its
+  home shard saturated spills to a second seed-independent candidate
+  shard when that one has capacity (two-choices load balancing).
+* **Admission control.**  Each shard caps in-flight invocations; over
+  the cap, requests park FIFO on a :class:`Completion` and the slot is
+  handed directly from a finishing invocation to the head waiter, so
+  the cap is never transiently exceeded and wakeups are fair.  Queue
+  wait counts toward the recorded end-to-end latency — that is what
+  the p99 at saturation is made of.
+
+Everything is driven by the discrete-event scheduler, so a 1,024-VM /
+1M-invocation run is a pure function of the seed like every other run.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.errors import VmshError
+from repro.sim.sched import Completion, PeriodicTimer, Scheduler
+from repro.testbed import Testbed
+from repro.units import SEC
+from repro.usecases.serverless import LambdaInstance, VHivePlatform
+
+
+class FleetShard:
+    """One shard: a platform on its own host plus admission state."""
+
+    def __init__(self, index: int, host, platform: VHivePlatform,
+                 max_inflight: Optional[int], obs) -> None:
+        self.index = index
+        self.host = host
+        self.platform = platform
+        self.max_inflight = max_inflight
+        self.inflight = 0
+        self.waiters: Deque[Completion] = deque()
+        scope = obs.metrics.scope("fleet", shard=index)
+        self.m_invocations = scope.counter("invocations")
+        self.m_throttled = scope.counter("throttled")
+        self.m_spilled = scope.counter("spilled")
+
+    @property
+    def saturated(self) -> bool:
+        return (self.max_inflight is not None
+                and self.inflight >= self.max_inflight)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FleetShard({self.index}, inflight={self.inflight}, "
+                f"queued={len(self.waiters)})")
+
+
+class FleetControlPlane:
+    """Shards `VHivePlatform` across simulated hosts with admission control."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        shards: int = 1,
+        snapshot_pool: bool = False,
+        log_level: str = "INFO",
+        indexed: bool = True,
+        max_inflight_per_shard: Optional[int] = None,
+        balance: bool = False,
+        record_latency: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise VmshError("a fleet needs at least one shard")
+        self.testbed = testbed
+        self._clock = testbed.clock
+        self._costs = testbed.costs
+        # Hot-path handles resolved once: the faas_route counter and
+        # its virtual cost, so the warm inline path does one attribute
+        # bump instead of a name lookup per invocation (identical to
+        # costs.bump("faas_route") by construction).
+        self._m_route = testbed.costs._counter("faas_route")
+        self._route_ns = testbed.costs.p.faas_route_ns
+        self.balance = balance
+        self.record_latency = record_latency
+        #: function -> home shard, filled by deploy() so the hot path
+        #: never re-hashes names (the crc32 + encode per invocation was
+        #: measurable at 1M invocations).
+        self._routes: Dict[str, FleetShard] = {}
+        self._alt_routes: Dict[str, FleetShard] = {}
+        #: end-to-end latency (admission wait included) of every
+        #: completed invocation, in completion order.
+        self.latencies_ns: List[int] = []
+        self.shards: List[FleetShard] = []
+        for index in range(shards):
+            host = testbed.host if index == 0 else testbed.add_host()
+            platform = VHivePlatform(
+                testbed,
+                snapshot_pool=snapshot_pool,
+                host=host,
+                log_level=log_level,
+                indexed=indexed,
+            )
+            self.shards.append(
+                FleetShard(index, host, platform,
+                           max_inflight_per_shard, testbed.obs)
+            )
+        self._autoscalers: List[PeriodicTimer] = []
+
+    # -- deployment / placement --------------------------------------------
+
+    def deploy(self, name: str, handler: Callable[[dict], dict]) -> int:
+        """Register ``handler`` fleet-wide; returns the home shard index.
+
+        The handler table is tiny (a dict entry per shard), so every
+        shard learns every function — only *instances* are sharded.
+        That is what lets a spilled invocation cold-start on its
+        second-choice shard without a deploy round trip.
+        """
+        for shard in self.shards:
+            shard.platform.deploy(name, handler)
+        home = self._home(name)
+        self._routes[name] = self.shards[home]
+        self._alt_routes[name] = self.shards[self._alt(name)]
+        return home
+
+    def _home(self, name: str) -> int:
+        return zlib.crc32(name.encode()) % len(self.shards)
+
+    def _alt(self, name: str) -> int:
+        # Second candidate for two-choices spill: derived from an
+        # independent checksum stream so the pair is uncorrelated with
+        # the home placement, offset by at least one shard.
+        n = len(self.shards)
+        if n == 1:
+            return 0
+        return (self._home(name) + 1
+                + zlib.crc32(b"alt:" + name.encode()) % (n - 1)) % n
+
+    def shard_for(self, name: str) -> FleetShard:
+        """The shard this invocation is admitted to, spill applied."""
+        home = self._routes.get(name) or self.shards[self._home(name)]
+        if not self.balance or not home.saturated:
+            return home
+        alt = self._alt_routes.get(name) or self.shards[self._alt(name)]
+        if alt is not home and not alt.saturated:
+            home.m_spilled.inc()
+            return alt
+        return home
+
+    # -- invocation --------------------------------------------------------
+
+    def invoke_task(self, name: str, payload: dict):
+        """Cooperative invocation through admission control (a generator).
+
+        Parks FIFO when the target shard is at its in-flight cap; the
+        finishing invocation hands its slot straight to the head
+        waiter (the cap is a hard invariant, not a race).  Returns the
+        handler result, ``None`` on a logged lambda error.
+
+        The warm case — an indexed shard with a live instance — runs
+        inline: route charge, one timed yield, execute.  That skips
+        two generator frames per step of the platform's general loop,
+        which at 1M invocations is most of the control plane's wall
+        time.  Byte-for-byte it charges/logs exactly what the general
+        loop would; cold starts, restores and mid-flight terminations
+        delegate to :meth:`VHivePlatform.invoke_task` (handing over
+        the spent retry so the cap spans both paths).
+        """
+        shard = self._routes.get(name)
+        if shard is None:
+            shard = self.shards[self._home(name)]
+        saturated = (shard.max_inflight is not None
+                     and shard.inflight >= shard.max_inflight)
+        if saturated and self.balance:
+            alt = self._alt_routes.get(name) or self.shards[self._alt(name)]
+            if alt is not shard and not (
+                alt.max_inflight is not None
+                and alt.inflight >= alt.max_inflight
+            ):
+                shard.m_spilled.inc()
+                shard = alt
+                saturated = False
+        clock = self._clock
+        t0 = clock._now
+        if saturated:
+            shard.m_throttled.inc()
+            gate = Completion()
+            shard.waiters.append(gate)
+            yield gate              # woken holding the handed-off slot
+        else:
+            shard.inflight += 1
+        try:
+            platform = shard.platform
+            instance = None
+            if platform.indexed:
+                bucket = platform._warm.get(name)
+                if bucket:
+                    for candidate in bucket.values():
+                        if not candidate.terminated:
+                            instance = candidate
+                            break
+            if instance is not None:
+                instance.last_used_ns = clock._now
+                self._m_route.value += 1
+                yield self._route_ns
+                if instance.terminated:
+                    # Scaled down under us mid-yield: account the spent
+                    # attempt exactly like the general loop, then let it
+                    # take over with one retry already burned.
+                    self._costs.bump("faas_invoke_retry")
+                    platform._log(
+                        instance, "WARN",
+                        f"instance terminated mid-invoke; retrying {name} "
+                        f"(1/{platform.MAX_INVOKE_RETRIES})",
+                    )
+                    result = yield from platform.invoke_task(
+                        name, payload, _retries=1
+                    )
+                else:
+                    instance.last_used_ns = clock._now
+                    result = platform._execute(instance, name, payload)
+            else:
+                result = yield from platform.invoke_task(name, payload)
+        finally:
+            waiters = shard.waiters
+            if waiters:
+                waiters.popleft().set()   # slot handoff, FIFO
+            else:
+                shard.inflight -= 1
+        shard.m_invocations.inc()
+        if self.record_latency:
+            self.latencies_ns.append(clock._now - t0)
+        return result
+
+    # -- fleet control loops -----------------------------------------------
+
+    def start_autoscalers(self, scheduler: Scheduler,
+                          period_ns: int = SEC) -> List[PeriodicTimer]:
+        """One idle-scale-down timer per shard (no global fleet scan)."""
+        if self._autoscalers:
+            raise VmshError("fleet autoscalers are already running")
+        self._autoscalers = [
+            shard.platform.start_autoscaler(scheduler, period_ns=period_ns)
+            for shard in self.shards
+        ]
+        return self._autoscalers
+
+    def stop_autoscalers(self) -> None:
+        for shard in self.shards:
+            shard.platform.stop_autoscaler()
+        self._autoscalers = []
+
+    # -- introspection -----------------------------------------------------
+
+    def live_instances(self) -> List[LambdaInstance]:
+        return [i for s in self.shards for i in s.platform.live_instances()]
+
+    def logs(self) -> list:
+        """All shards' log lines merged in (time, shard) order."""
+        merged = []
+        for shard in self.shards:
+            merged.extend(
+                (line.time_ns, shard.index, line) for line in shard.platform.logs
+            )
+        merged.sort(key=lambda item: (item[0], item[1]))
+        return [line for _, _, line in merged]
+
+    def total_invocations(self) -> int:
+        return sum(s.m_invocations.value for s in self.shards)
+
+    def total_throttled(self) -> int:
+        return sum(s.m_throttled.value for s in self.shards)
+
+    def latency_percentiles(self) -> Dict[str, int]:
+        """Deterministic nearest-rank percentiles over recorded latencies."""
+        if not self.latencies_ns:
+            raise VmshError("no latencies recorded")
+        ordered = sorted(self.latencies_ns)
+        n = len(ordered)
+
+        def rank(p: float) -> int:
+            return ordered[min(n - 1, max(0, int(p * n) - 1))]
+
+        return {
+            "p50": rank(0.50),
+            "p90": rank(0.90),
+            "p95": rank(0.95),
+            "p99": rank(0.99),
+            "max": ordered[-1],
+        }

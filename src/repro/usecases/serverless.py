@@ -55,6 +55,11 @@ class LambdaInstance:
     terminated: bool = False
 
 
+#: log severities in ascending order; ``log_level`` drops lines below
+#: the threshold before they are even formatted.
+_LOG_SEVERITY = {"DEBUG": 10, "INFO": 20, "WARN": 30, "ERROR": 40}
+
+
 class VHivePlatform:
     """A miniature vHive: functions, microVM pool, logs, scale-down."""
 
@@ -63,16 +68,38 @@ class VHivePlatform:
     #: terminations (each retry logs a WARN and re-charges the boot).
     MAX_INVOKE_RETRIES = 3
 
-    def __init__(self, testbed: Testbed, snapshot_pool: bool = False):
+    def __init__(self, testbed: Testbed, snapshot_pool: bool = False,
+                 host: Optional[object] = None, log_level: str = "INFO",
+                 indexed: bool = True):
         self.testbed = testbed
         #: opt-in: bake a VmSnapshot on the first cold boot of each
         #: function and serve later cold invocations by restoring it
         #: (``faas_snapshot_restore_ns``) instead of booting
         #: (``faas_cold_start_ns``) — the ROADMAP item 1 pool.
         self.snapshot_pool = snapshot_pool
+        #: simulated host this platform's microVMs boot on — a
+        #: ``Testbed.add_host`` machine when the platform is one shard
+        #: of a :class:`~repro.usecases.fleet.FleetControlPlane`
+        #: (default: the testbed's primary host).
+        self.host = host if host is not None else testbed.host
+        if log_level not in _LOG_SEVERITY:
+            raise VmshError(f"unknown log level {log_level!r}")
+        self.log_level = log_level
+        self._log_threshold = _LOG_SEVERITY[log_level]
+        #: ablation knob: ``False`` restores the pre-index linear scan
+        #: of every live instance per invocation.  Both settings
+        #: resolve the identical instance — the index is just O(1).
+        self.indexed = indexed
         self._pool: Dict[str, object] = {}
         self._functions: Dict[str, Callable[[dict], dict]] = {}
         self._instances: Dict[str, LambdaInstance] = {}
+        #: warm-instance index: function -> insertion-ordered
+        #: {instance_id: instance} of live instances, so the hot
+        #: routing path is a dict hit instead of an O(fleet) scan.
+        #: Iteration order matches the global ``_instances`` scan
+        #: (both insertion-ordered, the bucket is a subset), so the
+        #: resolved instance is identical either way.
+        self._warm: Dict[str, Dict[str, LambdaInstance]] = {}
         #: tombstones of reaped instances: log-driven lookups (the
         #: debugger's "too late" path) still resolve, but the VM graph
         #: is released and `_instance_for` never scans them.
@@ -103,7 +130,7 @@ class VHivePlatform:
         self.testbed.costs.faas_route()
         return self._execute(instance, name, payload)
 
-    def invoke_task(self, name: str, payload: dict):
+    def invoke_task(self, name: str, payload: dict, _retries: int = 0):
         """Cooperative :meth:`invoke` for scheduler tasks (a generator).
 
         Cold-start and routing delays become timed yields, so a storm
@@ -114,11 +141,15 @@ class VHivePlatform:
         *every* yield and re-acquired (with a logged retry) if it was
         terminated mid-flight.  The task's result is the handler's
         result (or ``None`` on a logged error).
+
+        ``_retries`` seeds the retry budget — a caller that already
+        routed once (the fleet plane's inline warm path) hands off its
+        spent attempt so the ``MAX_INVOKE_RETRIES`` cap spans both.
         """
         if name not in self._functions:
             raise VmshError(f"function {name!r} is not deployed")
         costs = self.testbed.costs
-        retries = 0
+        retries = _retries
         while True:
             instance, kind = self._instance_for(name)
             instance.last_used_ns = self.testbed.clock.now
@@ -154,7 +185,13 @@ class VHivePlatform:
 
     def _execute(self, instance: LambdaInstance, name: str,
                  payload: dict) -> Optional[dict]:
-        self._log(instance, "INFO", f"invoke {name} payload_keys={sorted(payload)}")
+        # Gate before formatting: at fleet scale the two INFO lines per
+        # invocation (and the sorted() behind the first) dominate the
+        # control-plane cost when the platform runs at "WARN".
+        info = self._log_threshold <= 20
+        if info:
+            self._log(instance, "INFO",
+                      f"invoke {name} payload_keys={sorted(payload)}")
         try:
             result = self._functions[name](payload)
         except Exception as exc:  # noqa: BLE001 - lambda errors become logs
@@ -162,7 +199,8 @@ class VHivePlatform:
                 instance, "ERROR", f"{type(exc).__name__}: {exc}"
             )
             return None
-        self._log(instance, "INFO", "invoke ok")
+        if info:
+            self._log(instance, "INFO", "invoke ok")
         return result
 
     def _instance_for(self, name: str) -> Tuple[LambdaInstance, str]:
@@ -173,20 +211,27 @@ class VHivePlatform:
         penalty, because how the delay is paid differs between the
         synchronous and the cooperative invoke paths.
         """
-        for instance in self._instances.values():
-            if instance.function == name and not instance.terminated:
-                return instance, "warm"
+        if self.indexed:
+            bucket = self._warm.get(name)
+            if bucket:
+                for instance in bucket.values():
+                    if not instance.terminated:
+                        return instance, "warm"
+        else:
+            for instance in self._instances.values():
+                if instance.function == name and not instance.terminated:
+                    return instance, "warm"
         snap = self._pool.get(name) if self.snapshot_pool else None
         if snap is not None:
             # Pool hit: materialize a microVM from the prebaked
             # snapshot.  The restore delay is charged by the caller.
-            hv = self.testbed.clone(snap, charge=False)
+            hv = self.testbed.clone(snap, host=self.host, charge=False)
             self.testbed.costs.bump("faas_pool_hit")
             kind = "restore"
         else:
             # Cold start: boot a slim Firecracker microVM for the
             # function, and install the lambda handler's process.
-            hv = self.testbed.launch_firecracker(seccomp=False)
+            hv = self.testbed.launch_firecracker(seccomp=False, host=self.host)
             lambda_proc = GuestProcess(
                 f"lambda-{name}",
                 hv.guest.root_ns,
@@ -203,6 +248,7 @@ class VHivePlatform:
             last_used_ns=self.testbed.clock.now,
         )
         self._instances[instance.instance_id] = instance
+        self._warm.setdefault(name, {})[instance.instance_id] = instance
         if kind == "restore":
             self._log(
                 instance, "INFO",
@@ -219,6 +265,8 @@ class VHivePlatform:
         return instance, kind
 
     def _log(self, instance: LambdaInstance, level: str, message: str) -> None:
+        if _LOG_SEVERITY.get(level, 40) < self._log_threshold:
+            return
         self.logs.append(
             LogLine(self.testbed.clock.now, instance.instance_id, level, message)
         )
@@ -260,7 +308,7 @@ class VHivePlatform:
                 continue
             if now - instance.last_used_ns >= self.IDLE_TIMEOUT_NS:
                 instance.terminated = True
-                self.testbed.host.exit_process(instance.hypervisor.pid)
+                instance.hypervisor.host.exit_process(instance.hypervisor.pid)
                 self._log(instance, "INFO", "scaled down")
                 terminated.append(instance.instance_id)
                 # Reap: drop the dead VM's object graph; the tombstone
@@ -269,6 +317,9 @@ class VHivePlatform:
                 self._retired[instance.instance_id] = self._instances.pop(
                     instance.instance_id
                 )
+                bucket = self._warm.get(instance.function)
+                if bucket is not None:
+                    bucket.pop(instance.instance_id, None)
         return terminated
 
     def instance(self, instance_id: str) -> LambdaInstance:

@@ -107,12 +107,34 @@ def test_pinned_tracer_raises_instead_of_evicting():
     assert tracer.dropped_events > 0
 
 
-def test_emit_deep_copies_mutable_detail():
+def test_emit_deep_copies_mutable_detail_when_recorded():
+    # The defensive copy exists for *recorded* streams: while a pin or
+    # sink is active, history must not be rewritten by an emitter
+    # mutating its detail dict after the fact.
     tracer = Tracer()
+    tracer.pin()
     payload = {"inner": [1, 2]}
     tracer.emit("t", "e", data=payload)
     payload["inner"].append(3)
     assert tracer.events[0].detail["data"] == {"inner": [1, 2]}
+    tracer.unpin()
+
+    sunk = Tracer()
+    seen = []
+    sunk.add_sink(seen.append)
+    payload = {"inner": [1, 2]}
+    sunk.emit("t", "e", data=payload)
+    payload["inner"].append(3)
+    assert seen[0].detail["data"] == {"inner": [1, 2]}
+
+
+def test_emit_skips_copy_on_unobserved_fast_path():
+    # With no sink and no pin nothing re-reads the stored detail, so
+    # emit() takes the zero-copy fast path (one Event, one append).
+    tracer = Tracer()
+    payload = {"inner": [1, 2]}
+    tracer.emit("t", "e", data=payload)
+    assert tracer.events[0].detail["data"] is payload
 
 
 def test_sink_sees_events_and_evictions():

@@ -405,3 +405,158 @@ def test_same_seed_same_event_stream():
         return log
 
     assert run(0xAB) == run(0xAB)
+
+
+# -- slab pooling, tombstones, ready ring (PR 8) ----------------------------------
+
+
+def test_cancelled_timer_storm_compacts_heap():
+    # Lazy deletion must not let a cancel storm pin the heap: once
+    # tombstones dominate, the heap is rebuilt in place and pending()
+    # falls back to roughly the live entry count.
+    sched = make_sched()
+    storm = [sched.at(1_000 + i, lambda: None) for i in range(1_000)]
+    fired = []
+    sched.at(5_000, lambda: fired.append(True), label="keeper")
+    for timer in storm:
+        timer.cancel()
+    assert sched.pending() < 200          # ~1000 dead entries compacted away
+    sched.run_until_idle()
+    assert fired == [True]                # survivors still dispatch
+    assert sched.pending() == 0
+
+
+def test_compaction_preserves_survivor_order():
+    def run(seed):
+        sched = make_sched(seed=seed)
+        order = []
+        timers = [
+            sched.at(100 + (i % 10), lambda i=i: order.append(i),
+                     priority=i % 3)
+            for i in range(400)
+        ]
+        for i, timer in enumerate(timers):
+            if i % 4:                      # cancel 75% -> trips compaction
+                timer.cancel()
+        sched.run_until_idle()
+        return order
+    first = run(11)
+    assert first == run(11)                # deterministic across runs
+    assert sorted(first) == [i for i in range(400) if i % 4 == 0]
+
+
+def test_same_timestamp_batch_order_matches_legacy_loop():
+    # Both dispatch loops must resolve a same-instant batch by the
+    # identical (priority, seeded tiebreak, seq) keys.
+    def run(fast):
+        sched = Scheduler(Clock(), label="test", master_seed=7, fast=fast)
+        order = []
+        for i in range(64):
+            sched.at(100, lambda i=i: order.append(i), priority=i % 3)
+        sched.run_until_idle()
+        return order
+    fast_order = run(True)
+    assert fast_order == run(False)
+    assert sorted(fast_order) == list(range(64))
+
+
+def test_fast_and_legacy_loops_agree_under_cancel_storm():
+    def run(fast):
+        sched = Scheduler(Clock(), label="test", master_seed=3, fast=fast)
+        order = []
+        timers = [
+            sched.at(10 * (i % 7), lambda i=i: order.append(i))
+            for i in range(300)
+        ]
+        for i, timer in enumerate(timers):
+            if i % 3 == 0:
+                timer.cancel()
+        sched.run_until_idle()
+        return order, sched.events_run, sched.now
+    assert run(True) == run(False)
+
+
+def test_entry_pool_recycles_heap_slabs():
+    sched = make_sched()
+    for i in range(16):
+        sched.at(i, lambda: None)
+    assert sched._entry_pool == []
+    sched.run_until_idle()
+    assert len(sched._entry_pool) == 16    # popped slabs land in the pool
+    recycled = {id(entry) for entry in sched._entry_pool}
+    for i in range(16):
+        sched.at(i, lambda: None)
+    assert sched._entry_pool == []         # drained by the new schedules
+    assert {id(entry) for entry in sched._heap} == recycled
+    sched.run_until_idle()
+
+
+def test_entry_pool_is_bounded():
+    from repro.sim.sched import _ENTRY_POOL_MAX
+
+    sched = make_sched()
+    for i in range(_ENTRY_POOL_MAX + 512):
+        sched.at(i, lambda: None)
+    sched.run_until_idle()
+    assert len(sched._entry_pool) == _ENTRY_POOL_MAX
+
+
+def test_ready_ring_dispatches_fifo_regardless_of_seed():
+    # Ring events skip the seeded tiebreak draw entirely: zero-delay
+    # priority-0 work runs in strict submission order under any seed.
+    def run(seed):
+        sched = Scheduler(Clock(), label="test", master_seed=seed,
+                          ready_ring=True)
+        order = []
+        for i in range(24):
+            sched.call_soon(lambda i=i: order.append(i))
+        sched.run_until_idle()
+        return order
+    assert run(1) == run(2) == list(range(24))
+
+
+def test_ready_ring_only_captures_due_priority_zero_events():
+    sched = Scheduler(Clock(), label="test", master_seed=7, ready_ring=True)
+    order = []
+    sched.at(50, lambda: order.append("future"))
+    sched.call_soon(lambda: order.append("now"))
+    sched.at(0, lambda: order.append("prio"), priority=1)
+    sched.run_until_idle()
+    # Ring drains before the heap; non-zero priority and future times
+    # still take the heap path.
+    assert order == ["now", "prio", "future"]
+
+
+def test_ready_ring_cancel_is_honoured():
+    sched = Scheduler(Clock(), label="test", ready_ring=True)
+    fired = []
+    timer = sched.call_soon(lambda: fired.append("cancelled"))
+    sched.call_soon(lambda: fired.append("kept"))
+    timer.cancel()
+    sched.run_until_idle()
+    assert fired == ["kept"]
+
+
+def test_ready_ring_requires_fast_loop():
+    with pytest.raises(SchedulerError, match="fast dispatch loop"):
+        Scheduler(Clock(), fast=False, ready_ring=True)
+    sched = make_sched()
+    sched.fast = False
+    with pytest.raises(SchedulerError, match="fast dispatch loop"):
+        sched.enable_ready_ring()
+
+
+def test_run_tolerates_duplicate_and_completed_waitables():
+    sched = make_sched()
+
+    def job():
+        yield 10
+        return "ok"
+
+    done = Completion()
+    done.set(42)
+    task = sched.spawn(job())
+    # Duplicates must not double-count in the O(1) completion countdown,
+    # and an already-done waitable needs no events at all.
+    assert sched.run(task, task, done, task) == ["ok", "ok", 42, "ok"]
+    assert sched.run(done) == [42]
