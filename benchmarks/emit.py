@@ -31,6 +31,11 @@ Run from the repo root::
   big point), plus the fleet-64 before/after of the scheduler + obs
   fast paths (ablation knob restores the pre-PR bundle) on both the
   end-to-end burst and the pure dispatch storm.
+* ``--pr 9`` — arch generality: the attach matrix across
+  {x86_64, arm64, riscv64 (Sv39), riscv64 (Sv48)} x hypervisors with
+  the host walker checked against boot-written PTE bytes, per-arch
+  register-file/scratch descriptors, and the riscv64 per-seed
+  byte-identity run (trace + snapshot/restore round trip).
 """
 
 from __future__ import annotations
@@ -504,9 +509,82 @@ def payload_pr8() -> dict:
     }
 
 
+def payload_pr9() -> dict:
+    from test_e2_e3_generality import (
+        GENERALITY_ARCHES,
+        _arch_matrix,
+        _riscv_seeded_run,
+    )
+
+    from repro.arch import ARCHES
+    from repro.guestos.version import ALL_TESTED_VERSIONS
+    from repro.sim import rng as simrng
+
+    seed = simrng.MASTER_SEED
+    rows = _arch_matrix()
+    trace_a, state_a = _riscv_seeded_run(seed)
+    trace_b, state_b = _riscv_seeded_run(seed)
+
+    def arch_row(arch) -> dict:
+        return {
+            "family": arch.family,
+            "pt_root_sreg": arch.pt_root_sreg,
+            "gp_registers": len(arch.gp_registers),
+            "scratch_bytes": arch.scratch_size,
+            "ioregionfd": arch.ioregionfd_available,
+            "ksymtab_layouts": sorted(
+                {arch.ksymtab_layout(v) for v in ALL_TESTED_VERSIONS}
+            ),
+        }
+
+    matrix = {}
+    for arch_name in GENERALITY_ARCHES:
+        matrix[arch_name] = {
+            "supported": sorted(
+                l for a, l, s, _ in rows if a == arch_name and s == "supported"
+            ),
+            "no_port": sorted(
+                l for a, l, s, _ in rows if a == arch_name and s == "no-port"
+            ),
+            "mmio_modes": sorted(
+                {d for a, _, s, d in rows if a == arch_name and s == "supported"}
+            ),
+        }
+
+    return {
+        "pr": 9,
+        "title": "Behavioral arch interface + RISC-V (Sv39/Sv48) guest "
+                 "support across the hypervisor matrix",
+        "workload": "full attach + console round trip per (arch, VMM) cell; "
+                    "walker checked against boot-written PTE bytes; "
+                    "seeded riscv64 run repeated for byte-identity with a "
+                    "vCPU snapshot/restore round trip spliced in",
+        "seed": seed,
+        "arch_interface": {name: arch_row(a) for name, a in ARCHES.items()},
+        "matrix": matrix,
+        "riscv64_determinism": {
+            "trace_bytes": len(trace_a),
+            "trace_identical": trace_a == trace_b,
+            "register_file_identical": state_a == state_b,
+        },
+        "headline": {
+            "arches": len(GENERALITY_ARCHES),
+            "cells_supported": sum(1 for _, _, s, _ in rows if s == "supported"),
+            "cells_no_port": sum(1 for _, _, s, _ in rows if s == "no-port"),
+            "riscv_wrap_syscall_only": all(
+                d == "wrap_syscall"
+                for a, _, s, d in rows
+                if a.startswith("riscv") and s == "supported"
+            ),
+            "riscv_trace_deterministic": trace_a == trace_b,
+            "riscv_snapshot_roundtrip": state_a == state_b,
+        },
+    }
+
+
 EMITTERS = {
     3: payload_pr3, 4: payload_pr4, 5: payload_pr5, 6: payload_pr6,
-    7: payload_pr7, 8: payload_pr8,
+    7: payload_pr7, 8: payload_pr8, 9: payload_pr9,
 }
 
 

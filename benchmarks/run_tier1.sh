@@ -22,6 +22,12 @@ PYTHONPATH=src python -m pytest -q \
     benchmarks/test_ablation_snapshot.py \
     benchmarks/test_fleet_scaling.py
 
+# Arch-matrix leg (PR 9): the riscv64 attach integration suite plus the
+# E2/E3 generality matrix across {x86_64, arm64, riscv64 Sv39/Sv48}.
+PYTHONPATH=src python -m pytest -q \
+    tests/integration/test_riscv64.py \
+    benchmarks/test_e2_e3_generality.py
+
 # Machine-readable numbers per PR -> benchmarks/results/BENCH_PR<n>.json
 # (emit.py takes the PR number; --out overrides the default path).
 PYTHONPATH=src python benchmarks/emit.py --pr 3
@@ -30,6 +36,7 @@ PYTHONPATH=src python benchmarks/emit.py --pr 5
 PYTHONPATH=src python benchmarks/emit.py --pr 6
 PYTHONPATH=src python benchmarks/emit.py --pr 7
 PYTHONPATH=src python benchmarks/emit.py --pr 8
+PYTHONPATH=src python benchmarks/emit.py --pr 9
 
 # Perf-regression gate: fleet-64 control-plane + I/O points against
 # the committed baseline (deterministic dims exact, wall in-band).

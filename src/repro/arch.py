@@ -1,22 +1,42 @@
-"""CPU architecture descriptors: x86-64 and the arm64 port.
+"""CPU architecture layer: x86-64, arm64, and the RISC-V port.
 
 The paper's prototype "only support[s] the x86_64 architecture.  We
 have plans to port our system to arm64.  An architecture port would
 require to extend the system call injection, as well as register and
 page table handling." (§5)
 
-This module implements that port surface: everything arch-specific the
-side-loading pipeline touches — the register file (what the trampoline
-saves), the instruction-pointer and page-table-root registers, the
-kernel text/KASLR window, and the page-table walker/builder classes —
-is captured in an :class:`Arch` descriptor.  The rest of the stack is
-arch-agnostic and dispatches through it.
+This module implements that port surface as a *behavioral* interface:
+everything arch-specific the side-loading pipeline touches is a method
+or property of an :class:`Arch` subclass —
+
+* the page-table walker/builder factory (:meth:`Arch.walker`,
+  :meth:`Arch.builder`),
+* page-table-root register encoding/decoding (:meth:`Arch.encode_pt_root`
+  / :meth:`Arch.pt_root_paddr` — identity for CR3/TTBR1, the MODE+PPN
+  ``satp`` format on RISC-V),
+* the register file and the sideload trampoline scratch layout
+  (:meth:`Arch.pack_context` / :meth:`Arch.unpack_context` /
+  :attr:`Arch.scratch_size`),
+* the permission view of a hardware translation
+  (:meth:`Arch.translation_perms` — NX vs UXN vs the R/W/X PTE bits),
+* the ksymtab export layout a given kernel version uses on this arch
+  (:meth:`Arch.ksymtab_layout` — RISC-V never selected
+  ``HAVE_ARCH_PREL32_RELOCATIONS``, so it always exports absolute
+  addresses),
+* the KASLR window (:attr:`kernel_text_base` /
+  :attr:`kernel_text_range` / :attr:`kaslr_align`), and
+* hypervisor-quirk inputs such as :attr:`ioregionfd_available`.
+
+The rest of the stack is arch-agnostic and dispatches through the
+descriptor; adding a new guest ISA means adding one subclass here plus
+a page-table module under ``repro.mem``.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, FrozenSet, Mapping, Tuple
 
 from repro.units import GiB, MiB
 
@@ -38,20 +58,49 @@ ARM64_SREGS: Tuple[str, ...] = (
     "ttbr0_el1", "ttbr1_el1", "sctlr_el1", "tcr_el1", "mair_el1", "vbar_el1",
 )
 
+# riscv64 ----------------------------------------------------------------------
+
+RISCV_GP_REGISTERS: Tuple[str, ...] = tuple(f"x{i}" for i in range(32)) + ("pc",)
+RISCV_SREGS: Tuple[str, ...] = (
+    "sstatus", "satp", "stvec", "sepc", "scause", "stval",
+)
+
+SATP_MODE_SV39 = 8
+SATP_MODE_SV48 = 9
+SATP_PPN_MASK = (1 << 44) - 1  # satp[43:0]
+
 
 @dataclass(frozen=True)
 class Arch:
-    """Everything arch-specific in the side-load pipeline."""
+    """Everything arch-specific in the side-load pipeline.
+
+    Subclasses supply the behavior (page-table classes, root-register
+    format, permission decoding); instances supply the constants.
+    """
 
     name: str
     gp_registers: Tuple[str, ...]
     sregs: Tuple[str, ...]
     ip_register: str                 # where execution resumes
     sp_register: str
-    pt_root_sreg: str                # CR3 on x86, TTBR1_EL1 on arm64 (§4.1)
+    pt_root_sreg: str                # CR3 / TTBR1_EL1 / satp (§4.1, §5)
     kernel_text_base: int
     kernel_text_range: int
     kaslr_align: int
+    # ``family`` groups paging variants of one ISA ("riscv64" covers
+    # both the Sv39 and Sv48 descriptors); hypervisor support tables
+    # key on the family, not the descriptor name.
+    family: str = ""
+    # Whether the host kernel implements KVM_CAP_IOREGIONFD for this
+    # arch.  The ioregionfd series was never merged for riscv, so
+    # attach falls back to the wrap_syscall transport there (§4.2).
+    ioregionfd_available: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.family:
+            object.__setattr__(self, "family", self.name)
+
+    # -- KASLR window ---------------------------------------------------------
 
     @property
     def kaslr_slots(self) -> int:
@@ -62,27 +111,168 @@ class Arch:
             raise ValueError(f"KASLR slot {slot} out of range for {self.name}")
         return self.kernel_text_base + slot * self.kaslr_align
 
+    # -- page tables ----------------------------------------------------------
+
     def walker(self, read_u64):
         """Page-table walker over a ``read_u64(paddr)`` callback."""
-        if self.name == "x86_64":
-            from repro.mem.pagetable import PageTableWalker
+        raise NotImplementedError
 
-            return PageTableWalker(read_u64)
+    def builder(self, read_u64, write_u64, alloc_table_page):
+        """Page-table builder writing real PTE bytes into guest memory."""
+        raise NotImplementedError
+
+    def encode_pt_root(self, root_paddr: int) -> int:
+        """Turn a root-table physical address into the sreg value.
+
+        Identity on x86 (CR3 holds the PML4 paddr) and arm64 (TTBR1
+        holds the L0 paddr); RISC-V packs MODE and PPN into ``satp``.
+        """
+        return root_paddr
+
+    def pt_root_paddr(self, reg_value: int) -> int:
+        """Decode the page-table root paddr out of the sreg value."""
+        raise NotImplementedError
+
+    def translation_perms(self, translation) -> FrozenSet[str]:
+        """Logical r/w/x permission set of a hardware translation."""
+        raise NotImplementedError
+
+    # -- sideload trampoline scratch area -------------------------------------
+
+    @property
+    def scratch_size(self) -> int:
+        """Bytes the trampoline needs to spill the full register file."""
+        return len(self.gp_registers) * 8
+
+    def pack_context(self, regs: Mapping[str, int]) -> bytes:
+        """Serialize the register file in trampoline save order."""
+        return struct.pack(
+            f"<{len(self.gp_registers)}Q",
+            *(regs[r] for r in self.gp_registers),
+        )
+
+    def unpack_context(self, data: bytes) -> Dict[str, int]:
+        """Inverse of :meth:`pack_context` (extra trailing bytes ignored)."""
+        if len(data) < self.scratch_size:
+            raise ValueError(
+                f"scratch area too small for {self.name}: "
+                f"{len(data)} < {self.scratch_size} bytes"
+            )
+        values = struct.unpack_from(f"<{len(self.gp_registers)}Q", data)
+        return dict(zip(self.gp_registers, values))
+
+    # -- ksymtab --------------------------------------------------------------
+
+    def ksymtab_layout(self, version) -> str:
+        """Which ksymtab export layout this kernel uses on this arch."""
+        return version.ksymtab_layout
+
+
+@dataclass(frozen=True)
+class X86Arch(Arch):
+    def walker(self, read_u64):
+        from repro.mem.pagetable import PageTableWalker
+
+        return PageTableWalker(read_u64)
+
+    def builder(self, read_u64, write_u64, alloc_table_page):
+        from repro.mem.pagetable import PageTableBuilder
+
+        return PageTableBuilder(read_u64, write_u64, alloc_table_page)
+
+    def pt_root_paddr(self, reg_value: int) -> int:
+        from repro.mem.pagetable import PTE_ADDR_MASK
+
+        return reg_value & PTE_ADDR_MASK
+
+    def translation_perms(self, translation) -> FrozenSet[str]:
+        from repro.mem.pagetable import PTE_NX, PTE_WRITABLE
+
+        perms = {"r"}
+        if translation.flags & PTE_WRITABLE:
+            perms.add("w")
+        if not translation.flags & PTE_NX:
+            perms.add("x")
+        return frozenset(perms)
+
+
+@dataclass(frozen=True)
+class Arm64Arch(Arch):
+    def walker(self, read_u64):
         from repro.mem.pagetable_arm64 import Arm64PageTableWalker
 
         return Arm64PageTableWalker(read_u64)
 
     def builder(self, read_u64, write_u64, alloc_table_page):
-        if self.name == "x86_64":
-            from repro.mem.pagetable import PageTableBuilder
-
-            return PageTableBuilder(read_u64, write_u64, alloc_table_page)
         from repro.mem.pagetable_arm64 import Arm64PageTableBuilder
 
         return Arm64PageTableBuilder(read_u64, write_u64, alloc_table_page)
 
+    def pt_root_paddr(self, reg_value: int) -> int:
+        from repro.mem.pagetable_arm64 import ADDR_MASK
 
-X86_64 = Arch(
+        return reg_value & ADDR_MASK
+
+    def translation_perms(self, translation) -> FrozenSet[str]:
+        from repro.mem.pagetable_arm64 import ATTR_AP_RO, ATTR_UXN
+
+        perms = {"r"}
+        if not translation.flags & ATTR_AP_RO:
+            perms.add("w")
+        if not translation.flags & ATTR_UXN:
+            perms.add("x")
+        return frozenset(perms)
+
+
+@dataclass(frozen=True)
+class RiscvArch(Arch):
+    """RISC-V with Sv39 or Sv48 paging, selected by ``satp_mode``.
+
+    Linux on riscv boots Sv39 by default (Sv48 arrived only in 5.17,
+    after every kernel version in the test matrix), so the plain
+    ``riscv64`` descriptor is Sv39 and ``riscv64_sv48`` opts into the
+    four-level variant.  The *walker* side is mode-agnostic: it decodes
+    the MODE field out of ``satp`` on every walk, exactly as the MMU
+    does, so one walker handles guests booted either way.
+    """
+
+    satp_mode: int = SATP_MODE_SV39
+
+    def walker(self, read_u64):
+        from repro.mem.pagetable_riscv import RiscvPageTableWalker
+
+        return RiscvPageTableWalker(read_u64)
+
+    def builder(self, read_u64, write_u64, alloc_table_page):
+        from repro.mem.pagetable_riscv import RiscvPageTableBuilder
+
+        return RiscvPageTableBuilder(read_u64, write_u64, alloc_table_page)
+
+    def encode_pt_root(self, root_paddr: int) -> int:
+        return (self.satp_mode << 60) | ((root_paddr >> 12) & SATP_PPN_MASK)
+
+    def pt_root_paddr(self, reg_value: int) -> int:
+        return (reg_value & SATP_PPN_MASK) << 12
+
+    def translation_perms(self, translation) -> FrozenSet[str]:
+        from repro.mem.pagetable_riscv import PTE_R, PTE_W, PTE_X
+
+        perms = set()
+        if translation.flags & PTE_R:
+            perms.add("r")
+        if translation.flags & PTE_W:
+            perms.add("w")
+        if translation.flags & PTE_X:
+            perms.add("x")
+        return frozenset(perms)
+
+    def ksymtab_layout(self, version) -> str:
+        # arch/riscv never selected HAVE_ARCH_PREL32_RELOCATIONS: every
+        # kernel in the matrix exports absolute-address ksymtab entries.
+        return "absolute"
+
+
+X86_64 = X86Arch(
     name="x86_64",
     gp_registers=X86_GP_REGISTERS,
     sregs=X86_SREGS,
@@ -94,7 +284,7 @@ X86_64 = Arch(
     kaslr_align=2 * MiB,
 )
 
-ARM64 = Arch(
+ARM64 = Arm64Arch(
     name="arm64",
     gp_registers=ARM64_GP_REGISTERS,
     sregs=ARM64_SREGS,
@@ -107,7 +297,32 @@ ARM64 = Arch(
     kaslr_align=2 * MiB,
 )
 
-ARCHES = {"x86_64": X86_64, "arm64": ARM64}
+_RISCV_COMMON = dict(
+    gp_registers=RISCV_GP_REGISTERS,
+    sregs=RISCV_SREGS,
+    ip_register="pc",
+    sp_register="x2",
+    pt_root_sreg="satp",
+    # KERNEL_LINK_ADDR for 64-bit riscv: the top 4 GiB of the address
+    # space, canonical under both Sv39 and Sv48.
+    kernel_text_base=0xFFFFFFFF00000000,
+    kernel_text_range=1 * GiB,
+    kaslr_align=2 * MiB,
+    family="riscv64",
+    ioregionfd_available=False,
+)
+
+RISCV64 = RiscvArch(name="riscv64", satp_mode=SATP_MODE_SV39, **_RISCV_COMMON)
+RISCV64_SV48 = RiscvArch(
+    name="riscv64_sv48", satp_mode=SATP_MODE_SV48, **_RISCV_COMMON
+)
+
+ARCHES = {
+    "x86_64": X86_64,
+    "arm64": ARM64,
+    "riscv64": RISCV64,
+    "riscv64_sv48": RISCV64_SV48,
+}
 
 
 def arch_by_name(name: str) -> Arch:

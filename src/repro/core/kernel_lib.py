@@ -13,7 +13,6 @@ would on real hardware.
 
 from __future__ import annotations
 
-import struct
 from typing import Any, Dict
 
 from repro.errors import GuestPanicError
@@ -136,13 +135,12 @@ class _LibRun:
         return "vmsh-lib-done"
 
     def _restore_registers(self) -> None:
-        registers = self.kernel.arch.gp_registers
+        arch = self.kernel.arch
         scratch = self.kernel.read_virt(
-            self.blob_vaddr + self.blob.scratch_offset, len(registers) * 8
+            self.blob_vaddr + self.blob.scratch_offset, arch.scratch_size
         )
-        values = struct.unpack(f"<{len(registers)}Q", scratch)
-        restored = dict(zip(registers, values))
-        if restored[self.kernel.arch.ip_register] == 0:
+        restored = arch.unpack_context(scratch)
+        if restored[arch.ip_register] == 0:
             raise GuestPanicError(
                 "vmsh library: trampoline save area is empty — "
                 "sideloader forgot to save registers"

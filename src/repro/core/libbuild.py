@@ -20,6 +20,7 @@ from repro.guestos.kfunctions import (
     REQUIRED_KERNEL_FUNCTIONS,
     UmhArgs,
 )
+from repro.arch import Arch
 from repro.guestos.version import KernelVersion
 from repro.sideload import build_blob
 
@@ -71,6 +72,9 @@ class LibraryPlan:
     exec_gsi: int = VMSH_EXEC_GSI
     exec_slot: int = VMSH_PCI_EXEC_SLOT
     exec_msi: int = VMSH_MSI_EXEC
+    #: guest architecture — sizes the trampoline scratch area to the
+    #: arch's register file; ``None`` falls back to max-over-arches.
+    arch: Optional[Arch] = None
 
 
 def plan_library(
@@ -79,6 +83,7 @@ def plan_library(
     container_pid: int = 0,
     transport: str = "mmio",
     exec_device: bool = False,
+    arch: Optional[Arch] = None,
 ) -> LibraryPlan:
     if transport not in ("mmio", "pci"):
         raise ValueError(f"unknown virtio transport {transport!r}")
@@ -93,6 +98,7 @@ def plan_library(
         reloc_names=list(REQUIRED_KERNEL_FUNCTIONS),
         transport=transport,
         exec_device=exec_device,
+        arch=arch,
     )
 
 
@@ -158,6 +164,7 @@ def build_library(plan: LibraryPlan) -> bytes:
         reloc_names=plan.reloc_names,
         config=config,
         payload=payload,
+        arch=plan.arch,
     )
 
 

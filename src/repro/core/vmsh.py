@@ -664,7 +664,7 @@ class Vmsh:
         yield "build_library"
         plan = plan_library(
             version, command=command, container_pid=container_pid,
-            transport=transport, exec_device=exec_device,
+            transport=transport, exec_device=exec_device, arch=arch,
         )
         blob = build_library(plan)
 
@@ -1141,11 +1141,14 @@ class Vmsh:
         arch = gateway.arch
         orig_regs = session.inject_syscall(thread, "ioctl", vcpu_fd, "KVM_GET_REGS")
         parsed = parse_blob(lambda off, length: bytes(blob[off : off + length]))
-        scratch = struct.pack(
-            f"<{len(arch.gp_registers)}Q",
-            *(orig_regs[r] for r in arch.gp_registers),
+        if parsed.scratch_size < arch.scratch_size:
+            raise SideloadError(
+                f"library scratch area ({parsed.scratch_size} B) cannot hold "
+                f"the {arch.name} register file ({arch.scratch_size} B)"
+            )
+        gateway.phys.write(
+            blob_gpa + parsed.scratch_offset, arch.pack_context(orig_regs)
         )
-        gateway.phys.write(blob_gpa + parsed.scratch_offset, scratch)
 
         # Divert the instruction pointer into the library.
         new_regs = dict(orig_regs)

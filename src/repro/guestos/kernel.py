@@ -158,14 +158,18 @@ class GuestKernel:
         pbase = self.alloc_guest_pages(KERNEL_IMAGE_SIZE // PAGE_SIZE)
 
         self.image = build_kernel_image(
-            self.version, vbase, pbase, self._write_phys
+            self.version, vbase, pbase, self._write_phys,
+            ksymtab_layout=self.arch.ksymtab_layout(self.version),
         )
         self.idle_vaddr = self.image.idle_vaddr
 
         builder = self.arch.builder(
             self.memory.read_u64, self.memory.write_u64, self._alloc_table_page
         )
-        self.cr3 = builder.new_root()
+        # ``cr3`` holds the *register-encoded* root (identity on x86/arm64,
+        # MODE|PPN satp form on riscv) — exactly what the vCPU sreg carries
+        # and what walkers/builders take as their root argument.
+        self.cr3 = self.arch.encode_pt_root(builder.new_root())
         builder.map_range(self.cr3, vbase, pbase, KERNEL_IMAGE_SIZE)
 
         for vcpu in self.vm.vcpus:

@@ -62,13 +62,22 @@ def build_kernel_image(
     vbase: int,
     pbase: int,
     write_phys,
+    ksymtab_layout: str = None,
 ) -> KernelImage:
     """Lay the kernel image out at ``pbase`` for virtual base ``vbase``.
 
     ``write_phys(paddr, data)`` stores bytes into guest physical
     memory.  Returns the symbol map the guest kernel keeps (and that
     VMSH must independently rediscover via the ksymtab).
+
+    ``ksymtab_layout`` selects the exported-symbol encoding; it is
+    arch-dependent (riscv never selected ``HAVE_ARCH_PREL32_RELOCATIONS``,
+    so it stays "absolute" on every version), so callers should pass
+    ``arch.ksymtab_layout(version)``.  Defaults to the version's x86
+    layout for callers that predate the arch interface.
     """
+    if ksymtab_layout is None:
+        ksymtab_layout = version.ksymtab_layout
 
     def write_virt(vaddr: int, data: bytes) -> None:
         write_phys(pbase + (vaddr - vbase), data)
@@ -101,7 +110,7 @@ def build_kernel_image(
     # 5. The exported-symbol sections, in the version's native layout.
     sections = build_symbol_sections(
         symbols,
-        layout=version.ksymtab_layout,
+        layout=ksymtab_layout,
         strings_vaddr=vbase + KSYMTAB_STRINGS_OFFSET,
         ksymtab_vaddr=vbase + KSYMTAB_OFFSET,
         write=write_virt,

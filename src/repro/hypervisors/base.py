@@ -43,6 +43,11 @@ class Hypervisor:
     #: still boot, serve IO, and survive attach — drivers fall back to
     #: always-notify rings.
     VIRTIO_EVENT_IDX = True
+    #: guest ISA families this VMM can boot (the per-arch row of the
+    #: generality matrix).  Keyed on :attr:`repro.arch.Arch.family`, so
+    #: one row covers every paging variant of an ISA (Sv39 and Sv48
+    #: riscv64 descriptors share the "riscv64" entry).
+    SUPPORTED_ARCH_FAMILIES = frozenset({"x86_64", "arm64", "riscv64"})
 
     def __init__(
         self,
@@ -79,6 +84,11 @@ class Hypervisor:
         """Create the VM, set up devices, boot the guest."""
         if self.launched:
             raise KvmError(f"{self.NAME} already launched")
+        if self.kvm.arch.family not in self.SUPPORTED_ARCH_FAMILIES:
+            raise KvmError(
+                f"{self.NAME} has no {self.kvm.arch.family} port "
+                f"(supports: {', '.join(sorted(self.SUPPORTED_ARCH_FAMILIES))})"
+            )
         self.process = self.host.spawn_process(self.NAME)
         main = self.process.main_thread
         kvm_fd = self.process.fds.install(self.kvm)

@@ -69,6 +69,8 @@ class Firecracker(Hypervisor):
     VCPU_THREAD_NAME = "fc_vcpu {index}"
     HAS_DEBUGGER_API = False
     HAS_HOTPLUG_API = False
+    # Firecracker ships x86_64 and aarch64 builds only — no riscv port.
+    SUPPORTED_ARCH_FAMILIES = frozenset({"x86_64", "arm64"})
 
     def __init__(self, *args, seccomp: bool = True,
                  vmsh_seccomp_profile: bool = False, **kwargs):
@@ -112,6 +114,9 @@ class CloudHypervisor(Hypervisor):
     VIRTIO_TRANSPORT = "pci"
     HAS_DEBUGGER_API = False
     HAS_HOTPLUG_API = True
+    # cloud-hypervisor targets x86_64 and aarch64 only (Table-1 row
+    # for the new arch: unsupported VMM, like its mmio-attach row).
+    SUPPORTED_ARCH_FAMILIES = frozenset({"x86_64", "arm64"})
 
     def _configure_irqchip(self, vm: VmFd) -> None:
         # MSI-X message-based interrupts only: no GSI pin routing.

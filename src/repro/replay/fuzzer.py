@@ -37,6 +37,8 @@ _FLAVOR_WEIGHTS = (
     ("firecracker", 1),
     ("crosvm", 1),
     ("cloud_hypervisor", 1),
+    # the riscv64 leg: wrap_syscall-only attach on the third ISA.
+    ("qemu_riscv64", 1),
 )
 
 

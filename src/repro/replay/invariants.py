@@ -42,7 +42,11 @@ def state_fingerprint(tb: Any, hv: Any, vmsh: Any) -> Dict[str, Any]:
         "ioeventfds": len(vm.ioeventfds),
         "vcpu_regs": tuple(tuple(sorted(v.regs.items())) for v in vm.vcpus),
         "vcpu_sregs": tuple(tuple(sorted(v.sregs.items())) for v in vm.vcpus),
-        "pml4": vm.guest_memory().read(hv.guest.cr3, 4096),
+        # The root-table page itself: decode the paddr out of the
+        # register-encoded root (CR3 is ~identity, satp packs MODE|PPN).
+        "pt_root": vm.guest_memory().read(
+            hv.guest.arch.pt_root_paddr(hv.guest.cr3), 4096
+        ),
         "ebpf": tuple(
             (point, len(progs))
             for point, progs in sorted(tb.host._ebpf_programs.items())

@@ -41,6 +41,18 @@ FLAVORS: Dict[str, Tuple[str, Dict[str, Any], Dict[str, Any]]] = {
     "firecracker": ("launch_firecracker", {"seccomp": False}, {}),
     "crosvm": ("launch_crosvm", {}, {}),
     "cloud_hypervisor": ("launch_cloud_hypervisor", {}, {"transport": "pci"}),
+    # riscv64 legs of the generality matrix: the same VMM rows on the
+    # third ISA (attach runs in wrap_syscall mode — no ioregionfd on
+    # riscv).  The guest arch rides in FLAVOR_ARCH so the AttachCase
+    # JSON shape (and every committed corpus entry) stays unchanged.
+    "qemu_riscv64": ("launch_qemu", {}, {}),
+    "kvmtool_riscv64": ("launch_kvmtool", {}, {}),
+}
+
+#: guest architecture per flavor (absent = x86_64).
+FLAVOR_ARCH: Dict[str, str] = {
+    "qemu_riscv64": "riscv64",
+    "kvmtool_riscv64": "riscv64",
 }
 
 #: hostile driver behaviours the abuse harness can exhibit post-attach
@@ -143,7 +155,8 @@ def run_attach_case(
     """
     launch_name, launch_kwargs, attach_kwargs = FLAVORS[case.flavor]
     tb = Testbed(ioregionfd=case.ioregionfd, trace=True, seed=case.seed,
-                 cost_params=cost_params)
+                 cost_params=cost_params,
+                 arch=FLAVOR_ARCH.get(case.flavor, "x86_64"))
     if on_testbed is not None:
         on_testbed(tb)
     hv = getattr(tb, launch_name)(**launch_kwargs)

@@ -41,13 +41,20 @@ import struct
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
+from repro.arch import ARCHES, Arch
 from repro.errors import SideloadError
 
 SELF_MAGIC = b"SELF-VMSHLIB\x00\x00\x00\x00"
 FORMAT_VERSION = 1
 HEADER_SIZE = 0x40
 RELOC_ENTRY_SIZE = 40
-SCRATCH_SIZE = 34 * 8  # fits either register file (x86-64: 18, arm64: 34)
+#: Default trampoline scratch area: sized for the *largest* register
+#: file of any supported arch, so a blob built without an explicit
+#: arch still fits everywhere.  Arch-aware callers pass ``arch=`` to
+#: :func:`build_blob` and get exactly ``arch.scratch_size`` bytes —
+#: derived from the register tuple, never hand-counted, so a new port
+#: cannot silently overflow its save area.
+SCRATCH_SIZE = max(arch.scratch_size for arch in ARCHES.values())
 
 
 @dataclass(frozen=True)
@@ -68,6 +75,11 @@ class SelfBlob:
     scratch_offset: int
     entry_offset: int
     total_size: int
+
+    @property
+    def scratch_size(self) -> int:
+        """Bytes of trampoline save area this blob actually carries."""
+        return self.total_size - self.scratch_offset
 
 
 def pack_config(config: Dict[str, bytes]) -> bytes:
@@ -104,8 +116,15 @@ def build_blob(
     reloc_names: List[str],
     config: Dict[str, bytes],
     payload: bytes,
+    arch: Arch = None,
 ) -> bytes:
-    """Assemble a SELF blob with zeroed relocation slots."""
+    """Assemble a SELF blob with zeroed relocation slots.
+
+    With ``arch``, the trampoline scratch area is sized to that arch's
+    register file (``arch.scratch_size``); without, it falls back to
+    the max-over-arches :data:`SCRATCH_SIZE`.
+    """
+    scratch_size = arch.scratch_size if arch is not None else SCRATCH_SIZE
     encoded_id = program_id.encode("ascii") + b"\x00"
     program_id_off = HEADER_SIZE
     reloc_off = program_id_off + len(encoded_id)
@@ -116,7 +135,7 @@ def build_blob(
     payload_off = (payload_off + 7) & ~7
     scratch_off = payload_off + len(payload)
     scratch_off = (scratch_off + 7) & ~7
-    total = scratch_off + SCRATCH_SIZE
+    total = scratch_off + scratch_size
 
     blob = bytearray(total)
     struct.pack_into(
@@ -188,8 +207,10 @@ def parse_blob(read: Callable[[int, int], bytes]) -> SelfBlob:
         ("program id", program_id_off, 1),
         ("reloc table", reloc_off, reloc_count * RELOC_ENTRY_SIZE),
         ("config", config_off, config_len),
+        # The scratch area runs to the end of the blob; its size is
+        # arch-dependent, so only require that it is non-degenerate.
         ("payload", payload_off, payload_len),
-        ("scratch", scratch_off, SCRATCH_SIZE),
+        ("scratch", scratch_off, 8),
     ):
         if offset < HEADER_SIZE or offset + span > total:
             raise SideloadError(f"SELF {name} section out of bounds")

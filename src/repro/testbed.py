@@ -74,10 +74,14 @@ class Testbed:
         self.host.scheduler = self.scheduler
         self.arch = arch_by_name(arch)
         self.host.arch = self.arch
+        # The ioregionfd series only ever landed for some arches (it
+        # was never merged for riscv): the host kernel cannot offer
+        # the capability on an arch where the patch does not exist,
+        # regardless of what the caller asked for.
+        self._ioregionfd = ioregionfd and self.arch.ioregionfd_available
         self.kvm = KvmSystem(
-            self.host, ioregionfd_supported=ioregionfd, arch=self.arch
+            self.host, ioregionfd_supported=self._ioregionfd, arch=self.arch
         )
-        self._ioregionfd = ioregionfd
         self._disk_counter = 0
         #: simulated hosts sharing this testbed's clock/scheduler/obs —
         #: migration targets.  Maps each HostKernel to its KvmSystem.

@@ -25,6 +25,16 @@ FLAVORS = {
     "firecracker": ("launch_firecracker", {"seccomp": False}, {}),
     "crosvm": ("launch_crosvm", {}, {}),
     "cloud_hypervisor": ("launch_cloud_hypervisor", {}, {"transport": "pci"}),
+    # The riscv64 leg of the matrix (PR 9): the same fault grid on the
+    # third ISA, where attach always rides the wrap_syscall fallback.
+    "qemu_riscv64": ("launch_qemu", {}, {}),
+}
+
+#: guest architecture per flavor (absent = x86_64); mirrors
+#: ``repro.replay.scenarios.FLAVOR_ARCH`` so the chaos matrix and the
+#: fuzzer agree on what a flavor means.
+FLAVOR_ARCH = {
+    "qemu_riscv64": "riscv64",
 }
 
 
@@ -34,7 +44,10 @@ def launch_flavor(flavor: str, trace: bool = False, ioregionfd: bool = True):
     Returns ``(tb, hv, attach_kwargs)``.
     """
     launch_name, launch_kwargs, attach_kwargs = FLAVORS[flavor]
-    tb = Testbed(ioregionfd=ioregionfd, trace=trace)
+    tb = Testbed(
+        ioregionfd=ioregionfd, trace=trace,
+        arch=FLAVOR_ARCH.get(flavor, "x86_64"),
+    )
     hv = getattr(tb, launch_name)(**launch_kwargs)
     return tb, hv, dict(attach_kwargs)
 

@@ -23,10 +23,13 @@ from repro.units import MiB, PAGE_SIZE
 # -- arch descriptors ------------------------------------------------------------
 
 def test_arch_lookup():
+    from repro.arch import RISCV64
+
     assert arch_by_name("x86_64") is X86_64
     assert arch_by_name("arm64") is ARM64
+    assert arch_by_name("riscv64") is RISCV64
     with pytest.raises(ValueError):
-        arch_by_name("riscv64")
+        arch_by_name("mips64")
 
 
 def test_register_files_differ():
