@@ -36,6 +36,9 @@ Run from the repo root::
   the host walker checked against boot-written PTE bytes, per-arch
   register-file/scratch descriptors, and the riscv64 per-seed
   byte-identity run (trace + snapshot/restore round trip).
+* ``--pr 10`` — end-to-end serverless traffic over vmsh-net: open- and
+  closed-loop latency percentiles (p50/p99/p999) with the chaos legs
+  riding mid-load, plus the open-loop offered-vs-achieved RPS curve.
 """
 
 from __future__ import annotations
@@ -582,9 +585,87 @@ def payload_pr9() -> dict:
     }
 
 
+def payload_pr10() -> dict:
+    from repro.sim import rng as simrng
+    from repro.units import MSEC, SEC, USEC
+    from repro.usecases.traffic import run_traffic
+
+    seed = simrng.MASTER_SEED
+
+    def lat_ms(plane) -> dict:
+        return {k: round(v / 1e6, 3) for k, v in plane.percentiles().items()}
+
+    def chaos_row(mode: str, requests: int) -> dict:
+        _tb, plane = run_traffic(seed=seed, requests=requests, mode=mode)
+        s = plane.summary()
+        return {
+            "requests": s["requests"],
+            "completed": s["completed"],
+            "timeouts": s["timeouts"],
+            "servers": s["servers"],
+            "front_door": s["front_door"],
+            "flood_frames": s["flood_frames"],
+            "fabric_frames": s["fabric_delivered"],
+            "attach_log": s["attach_log"],
+            "latency_ms": lat_ms(plane),
+            "virtual_s": round(s["end_ns"] / SEC, 3),
+        }
+
+    # Both loop shapes under the full chaos set: mid-traffic attach,
+    # rolled-back attach, noisy-neighbor ingress flood.
+    open_loop = chaos_row("open", 160)
+    closed_loop = chaos_row("closed", 128)
+
+    # The RPS curve (the traffic plane's IOPS equivalent): open-loop
+    # offered load swept by arrival interval, chaos off so the curve
+    # shows the clean saturation knee.
+    rps_curve = []
+    for interval_ns in (8 * MSEC, 4 * MSEC, 2 * MSEC, MSEC, 500 * USEC):
+        _tb, plane = run_traffic(
+            seed=seed, requests=96, interval_ns=interval_ns, chaos=()
+        )
+        s = plane.summary()
+        rps_curve.append({
+            "offered_rps": round(SEC / interval_ns, 1),
+            "achieved_rps": round(s["completed"] * SEC / s["end_ns"], 1),
+            "completed": s["completed"],
+            "timeouts": s["timeouts"],
+            "latency_ms": lat_ms(plane),
+        })
+
+    return {
+        "pr": 10,
+        "title": "Shared virtio device core + vmsh-net + end-to-end "
+                 "serverless traffic",
+        "workload": "8 functions on a 2-shard fleet serving JSON "
+                    "request/response frames over the net fabric; "
+                    "chaos legs (mid-traffic debug attach, rolled-back "
+                    "attach, noisy neighbor) ride mid-load; open-loop "
+                    "RPS sweep with chaos off for the saturation curve",
+        "seed": seed,
+        "open_loop_chaos": open_loop,
+        "closed_loop_chaos": closed_loop,
+        "rps_curve": rps_curve,
+        "headline": {
+            "servers_over_fabric": open_loop["servers"],
+            "open_completed": open_loop["completed"],
+            "open_p99_ms": open_loop["latency_ms"]["p99"],
+            "open_p999_ms": open_loop["latency_ms"]["p999"],
+            "chaos_attach_ran": "attached" in open_loop["attach_log"],
+            "chaos_rollback_ran": any(
+                e.startswith("rolled-back:")
+                for e in open_loop["attach_log"]
+            ),
+            "peak_achieved_rps": max(
+                row["achieved_rps"] for row in rps_curve
+            ),
+        },
+    }
+
+
 EMITTERS = {
     3: payload_pr3, 4: payload_pr4, 5: payload_pr5, 6: payload_pr6,
-    7: payload_pr7, 8: payload_pr8, 9: payload_pr9,
+    7: payload_pr7, 8: payload_pr8, 9: payload_pr9, 10: payload_pr10,
 }
 
 

@@ -37,6 +37,7 @@ PYTHONPATH=src python benchmarks/emit.py --pr 6
 PYTHONPATH=src python benchmarks/emit.py --pr 7
 PYTHONPATH=src python benchmarks/emit.py --pr 8
 PYTHONPATH=src python benchmarks/emit.py --pr 9
+PYTHONPATH=src python benchmarks/emit.py --pr 10
 
 # Perf-regression gate: fleet-64 control-plane + I/O points against
 # the committed baseline (deterministic dims exact, wall in-band).

@@ -103,10 +103,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="scale-to-zero churn cycles (default 8)",
     )
 
+    p_traffic = sub.add_parser(
+        "traffic",
+        help="end-to-end serverless traffic over vmsh-net "
+             "(fleet serving requests through the fabric, with chaos)",
+    )
+    p_traffic.add_argument("--seed", type=lambda s: int(s, 0), default=None,
+                           help="master seed (default: the repo's pinned seed)")
+    p_traffic.add_argument("--functions", type=int, default=8,
+                           help="functions to deploy (default 8)")
+    p_traffic.add_argument("--shards", type=int, default=2,
+                           help="control-plane shards (default 2)")
+    p_traffic.add_argument("--requests", type=int, default=160,
+                           help="requests to issue (default 160)")
+    p_traffic.add_argument("--mode", choices=("open", "closed"), default="open",
+                           help="open-loop paced or closed-loop workers")
+    p_traffic.add_argument("--drop-rate", type=float, default=0.0,
+                           help="fabric frame drop probability")
+    p_traffic.add_argument("--no-chaos", action="store_true",
+                           help="skip the mid-traffic attach / rollback / "
+                                "noisy-neighbor legs")
+
     p_record = sub.add_parser(
         "record", help="record a full run to a replayable trace file"
     )
-    p_record.add_argument("--scenario", choices=("fleet", "attach"),
+    p_record.add_argument("--scenario", choices=("fleet", "attach", "traffic"),
                           default="fleet")
     p_record.add_argument("--seed", type=lambda s: int(s, 0), default=None,
                           help="master seed (default: the repo's pinned seed)")
@@ -375,6 +396,39 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.units import MSEC
+    from repro.usecases.traffic import run_traffic
+
+    chaos = () if args.no_chaos else ("attach", "rollback", "noisy")
+    tb, plane = run_traffic(
+        seed=args.seed,
+        functions=args.functions,
+        shards=args.shards,
+        requests=args.requests,
+        mode=args.mode,
+        drop_rate=args.drop_rate,
+        chaos=chaos,
+    )
+    s = plane.summary()
+    lat = s["latency_ns"]
+    print(f"{s['requests']} requests over vmsh-net "
+          f"({args.mode} loop, {args.shards} shards, "
+          f"{s['servers']} guest servers)")
+    print(f"  completed {s['completed']}  timeouts {s['timeouts']}  "
+          f"front-door {s['front_door']}")
+    print(f"  latency p50 {lat['p50'] / MSEC:.2f} ms  "
+          f"p99 {lat['p99'] / MSEC:.2f} ms  "
+          f"p999 {lat['p999'] / MSEC:.2f} ms")
+    print(f"  fabric: {s['fabric_delivered']} frames delivered, "
+          f"{s['fabric_dropped']} dropped; "
+          f"{s['junk_frames']} junk, {s['flood_frames']} flood")
+    if s["attach_log"]:
+        print(f"  chaos: {', '.join(s['attach_log'])}")
+    print(f"  virtual time {s['end_ns'] / MSEC:.1f} ms")
+    return 0
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     import json
     import pathlib
@@ -388,6 +442,8 @@ def _cmd_record(args: argparse.Namespace) -> int:
             "fleet_size": args.fleet,
             "snapshot_mid_attach": args.snapshot_mid_attach,
         }
+    elif args.scenario == "traffic":
+        params = {"seed": args.seed}
     else:
         if args.case is None:
             print("error: --scenario attach needs --case FILE", file=sys.stderr)

@@ -24,14 +24,14 @@ from repro.host.process import SocketPair, Thread
 from repro.host.ptrace import PtraceSession
 from repro.kvm.vcpu import VcpuFd
 from repro.sim.costs import CostModel
-from repro.sim.sched import Completion, Scheduler, Task
 from repro.virtio.blk import MappedImageBackend, VirtioBlkDevice
 from repro.virtio.console import Pts, VirtioConsoleDevice
+from repro.virtio.core import VirtioServiceHost
 from repro.virtio.memio import GuestMemoryAccessor
 from repro.virtio.mmio import VirtioMmioDevice
 
 
-class VmshDeviceHost:
+class VmshDeviceHost(VirtioServiceHost):
     """Hosts the console and block devices inside the VMSH process."""
 
     def __init__(
@@ -115,74 +115,15 @@ class VmshDeviceHost:
             lo = min(self._pci_functions)
             hi = max(self._pci_functions) + VMSH_MMIO_STRIDE
             self.ranges.append((lo, hi))
-        # Deferred-kick servicing (scheduler mode): pending (device,
-        # queue) kicks in arrival order, drained by the service task.
-        self._pending_kicks: list = []
-        self._service_task: Optional[Task] = None
-        self._service_stop = False
-        self._service_wake: Optional[Completion] = None
+        # Deferred-kick servicing (scheduler mode) lives in the
+        # VirtioServiceHost mixin; see virtio/core.py.
+        self._init_service_fifo()
 
     def devices(self) -> list:
         out = [self.console, self.blk]
         if self.exec_device is not None:
             out.append(self.exec_device)
         return out
-
-    # -- scheduler-driven servicing ------------------------------------------
-
-    def start_service_task(self, scheduler: Scheduler,
-                           label: str = "vmsh-dev") -> Task:
-        """Drain queue kicks from a scheduler task instead of inline.
-
-        While the task is installed, every QUEUE_NOTIFY lands in a FIFO
-        and the task services one queue per scheduling turn — so two
-        attached VMs' device hosts drain their virtqueues interleaved,
-        in seed-determined order.
-        """
-        if self._service_task is not None and not self._service_task.done:
-            raise VmshError("device host already has a service task")
-        self._service_stop = False
-        for device in self.devices():
-            device.defer_kicks(
-                lambda index, device=device: self._sink_kick(device, index)
-            )
-        self._service_task = scheduler.spawn(self._service_loop(), label=label)
-        return self._service_task
-
-    def stop_service_task(self) -> None:
-        """Restore inline kicks, drain leftovers, let the task finish."""
-        for device in self.devices():
-            device.defer_kicks(None)
-        self._service_stop = True
-        wake = self._service_wake
-        if wake is not None and not wake.done:
-            wake.set()
-        # Nothing may be lost across the mode switch: service whatever
-        # the task had not reached yet, inline and in order.
-        while self._pending_kicks:
-            device, index = self._pending_kicks.pop(0)
-            device.process_queue(index)
-
-    def _sink_kick(self, device: VirtioMmioDevice, index: int) -> None:
-        entry = (device, index)
-        if entry not in self._pending_kicks:  # coalesce repeat doorbells
-            self._pending_kicks.append(entry)
-        wake = self._service_wake
-        if wake is not None and not wake.done:
-            wake.set()
-
-    def _service_loop(self):
-        while True:
-            if self._pending_kicks:
-                device, index = self._pending_kicks.pop(0)
-                device.process_queue(index)
-                yield f"{device.name}:q{index}"
-            elif self._service_stop:
-                return
-            else:
-                self._service_wake = Completion()
-                yield self._service_wake
-                self._service_wake = None
 
     def contains(self, addr: int) -> bool:
         return any(lo <= addr < hi for lo, hi in self.ranges)

@@ -80,6 +80,9 @@ class GuestConfig:
     mmio_devices: Tuple[Tuple[int, int], ...] = ()
     #: initial root filesystem contents: path -> bytes (or None = dir)
     root_files: Dict[str, Optional[bytes]] = field(default_factory=dict)
+    #: queue pairs the guest's net driver asks for (clamped to what the
+    #: device offers; MQ is only negotiated when this is > 1)
+    nic_queue_pairs: int = 1
 
 
 DEFAULT_ROOT_LAYOUT: Dict[str, Optional[bytes]] = {
@@ -130,11 +133,13 @@ class GuestKernel:
         self.kernel_vfs: Optional[Vfs] = None
 
         self.block_devices: Dict[str, BlockDevice] = {}
+        self.net_devices: Dict[str, Any] = {}         # name -> GuestVirtioNic
         self.platform_devices: Dict[int, Any] = {}
         self._pdev_counter = itertools.count(1)
         self.vmsh_console: Optional[Any] = None       # GuestVirtioConsole
         self.vmsh_block: Optional[BlockDevice] = None
         self.vmsh_exec: Optional[Any] = None          # GuestVmExecDriver
+        self.vmsh_nic: Optional[Any] = None           # GuestVirtioNic
 
         self._irq_handlers: Dict[int, Callable[[int], None]] = {}
         self._kernel_files: Dict[int, OpenFile] = {}
@@ -231,8 +236,10 @@ class GuestKernel:
         from repro.virtio import constants as C
         from repro.virtio.blk import GuestVirtioBlkDisk
         from repro.virtio.mmio import GuestVirtioTransport
+        from repro.virtio.net import GuestVirtioNic
 
         disk_index = 0
+        nic_index = 0
         for base, gsi in self.config.mmio_devices:
             transport = GuestVirtioTransport(self, base, gsi)
             device_id = transport.probe()
@@ -244,6 +251,18 @@ class GuestKernel:
                 self.block_devices[name] = disk
                 disk_index += 1
                 self.printk(f"virtio-blk {name} at {base:#x} (irq {gsi})")
+            elif device_id == C.DEVICE_ID_NET:
+                name = f"eth{nic_index}"
+                nic = GuestVirtioNic(
+                    self, transport, name,
+                    queue_pairs=self.config.nic_queue_pairs,
+                )
+                self.net_devices[name] = nic
+                nic_index += 1
+                self.printk(
+                    f"virtio-net {name} at {base:#x} (irq {gsi}, "
+                    f"{nic.queue_pairs} queue pair(s))"
+                )
 
     # ------------------------------------------------------------------
     # Virtual memory helpers (guest's own view)
@@ -406,6 +425,7 @@ class GuestKernel:
         from repro.virtio import constants as C
         from repro.virtio.blk import GuestVirtioBlkDisk
         from repro.virtio.console import GuestVirtioConsole
+        from repro.virtio.net import GuestVirtioNic
         from repro.virtio.vmexec import DEVICE_ID_VMEXEC, GuestVmExecDriver
 
         handle = next(self._pdev_counter)
@@ -426,6 +446,15 @@ class GuestKernel:
             self.block_devices[disk.name] = disk
             self.platform_devices[handle] = disk
             self.printk(f"vmsh: block device at {where}")
+        elif device_id == C.DEVICE_ID_NET:
+            nic = GuestVirtioNic(
+                self, transport, name="vmsh_nic",
+                queue_pairs=self.config.nic_queue_pairs,
+            )
+            self.vmsh_nic = nic
+            self.net_devices[nic.name] = nic
+            self.platform_devices[handle] = nic
+            self.printk(f"vmsh: net device at {where}")
         else:
             self.panic(f"unknown virtio device id {device_id}")
         return handle
@@ -439,6 +468,9 @@ class GuestKernel:
         if device is self.vmsh_block:
             self.block_devices.pop(getattr(device, "name", ""), None)
             self.vmsh_block = None
+        if device is self.vmsh_nic:
+            self.net_devices.pop(getattr(device, "name", ""), None)
+            self.vmsh_nic = None
         return 0
 
     # -- file IO (4) ------------------------------------------------------------------------

@@ -26,6 +26,7 @@ from repro.units import GiB, MiB, SECTOR_SIZE
 from repro.virtio.blk import RawDiskBackend, VirtioBlkDevice
 from repro.virtio.memio import InProcessAccessor
 from repro.virtio.mmio import VirtioMmioDevice
+from repro.virtio.net import VirtioNetDevice
 from repro.virtio.p9 import P9Filesystem
 
 MMIO_WINDOW_STRIDE = 0x1000
@@ -43,6 +44,11 @@ class Hypervisor:
     #: still boot, serve IO, and survive attach — drivers fall back to
     #: always-notify rings.
     VIRTIO_EVENT_IDX = True
+    #: virtio-net queue pairs this VMM's device model supports.  Another
+    #: Table-1-style quirk row: minimalist VMMs ship single-queue net
+    #: devices, so a guest asking for more is silently clamped — the
+    #: device never offers VIRTIO_NET_F_MQ and drivers must not ack it.
+    VIRTIO_NET_QUEUE_PAIRS_MAX = 8
     #: guest ISA families this VMM can boot (the per-arch row of the
     #: generality matrix).  Keyed on :attr:`repro.arch.Arch.family`, so
     #: one row covers every paging variant of an ISA (Sv39 and Sv48
@@ -74,6 +80,8 @@ class Hypervisor:
         self._next_window = VIRTIO_MMIO_REGION_BASE
         self._next_gsi = FIRST_DEVICE_GSI
         self._pending_disks: List[Tuple[HostFile, str]] = []
+        self._pending_nics: List[Tuple[object, str, int]] = []
+        self.nics: Dict[str, VirtioNetDevice] = {}
         self.launched = False
 
     # ------------------------------------------------------------------
@@ -127,6 +135,12 @@ class Hypervisor:
                 (base, self._gsi_of(base)) for base in sorted(self._mmio_devices)
             ),
             root_files=self.root_files,
+            nic_queue_pairs=max(
+                [1] + [
+                    min(pairs, self.VIRTIO_NET_QUEUE_PAIRS_MAX)
+                    for _, _, pairs in self._pending_nics
+                ]
+            ),
         )
         self.guest = GuestKernel(self.vm, config)
         self.guest.boot()
@@ -155,6 +169,8 @@ class Hypervisor:
     def _setup_devices(self) -> None:
         for host_file, name in self._pending_disks:
             self._attach_blk(host_file, name)
+        for port, name, queue_pairs in self._pending_nics:
+            self._attach_nic(port, name, queue_pairs)
 
     def _apply_security_profile(self) -> None:
         """Default: no seccomp confinement."""
@@ -205,6 +221,57 @@ class Hypervisor:
         self._next_window += MMIO_WINDOW_STRIDE
         self._mmio_devices[base] = device
         device.gsi = gsi  # type: ignore[attr-defined]
+        return device
+
+    def add_nic(self, port, name: str = "net0", queue_pairs: int = 1) -> None:
+        """Register a fabric port to expose as a virtio-net device.
+
+        ``port`` is a :class:`repro.sim.netfab.NetPort` (or anything
+        with ``mac``, ``transmit(frame, pair)`` and ``connect(sink)``).
+        """
+        if self.launched:
+            raise KvmError("NICs must be added before launch")
+        self._pending_nics.append((port, name, queue_pairs))
+
+    def _attach_nic(self, port, name: str, queue_pairs: int) -> VirtioNetDevice:
+        assert self.process is not None and self.vm is not None
+        pairs = max(1, min(queue_pairs, self.VIRTIO_NET_QUEUE_PAIRS_MAX))
+        gsi = self._next_gsi
+        self._next_gsi += 1
+        vm = self.vm
+        costs = self.host.costs
+
+        def inject_irq() -> None:
+            # In-process devices assert the line with KVM_IRQ_LINE.
+            costs.syscall()
+            vm.inject_irq(gsi)
+
+        accessor = InProcessAccessor(vm.guest_memory(), costs)
+        accessor.stats.bind(
+            self.host.obs.metrics.scope(
+                "memio", role="vmm", vm=self.process.pid, device=name
+            )
+        )
+        device = VirtioNetDevice(
+            accessor=accessor,
+            irq_signal=inject_irq,
+            costs=costs,
+            mac=port.mac,
+            name=f"{self.NAME}-net-{name}",
+            queue_pairs=pairs,
+            offer_event_idx=self.VIRTIO_EVENT_IDX,
+            offer_mq=self.VIRTIO_NET_QUEUE_PAIRS_MAX > 1,
+        )
+        device.connect_tx(port.transmit)
+        port.connect(device.deliver)
+        # Route the data plane through the host's fault injector so
+        # chaos plans can hit virtio.net_{rx,tx}_ring.
+        device.fault_check = self.host.faults.check
+        base = self._next_window
+        self._next_window += MMIO_WINDOW_STRIDE
+        self._mmio_devices[base] = device
+        device.gsi = gsi  # type: ignore[attr-defined]
+        self.nics[name] = device
         return device
 
     def create_9p_share(self, label: str = "qemu-9p") -> P9Filesystem:

@@ -35,6 +35,8 @@ class Qemu(Hypervisor):
     VCPU_THREAD_NAME = "CPU {index}/KVM"
     HAS_DEBUGGER_API = True
     HAS_HOTPLUG_API = True
+    # Full multi-queue virtio-net with per-pair EVENT_IDX.
+    VIRTIO_NET_QUEUE_PAIRS_MAX = 8
 
     def create_9p_share(self, label: str = "qemu-9p") -> P9Filesystem:
         """virtio-9p host directory export (the Fig. 6 file-IO baseline)."""
@@ -60,6 +62,9 @@ class Kvmtool(Hypervisor):
     # lkvm's minimalist virtio never grew EVENT_IDX support; guests run
     # its queues in always-notify mode (generality-matrix quirk).
     VIRTIO_EVENT_IDX = False
+    # ... and its net device is single-queue: VIRTIO_NET_F_MQ is never
+    # offered, so a driver asking for more pairs falls back to one.
+    VIRTIO_NET_QUEUE_PAIRS_MAX = 1
 
 
 class Firecracker(Hypervisor):
@@ -71,6 +76,8 @@ class Firecracker(Hypervisor):
     HAS_HOTPLUG_API = False
     # Firecracker ships x86_64 and aarch64 builds only — no riscv port.
     SUPPORTED_ARCH_FAMILIES = frozenset({"x86_64", "arm64"})
+    # The microVM device model keeps net single-queue by design.
+    VIRTIO_NET_QUEUE_PAIRS_MAX = 1
 
     def __init__(self, *args, seccomp: bool = True,
                  vmsh_seccomp_profile: bool = False, **kwargs):
@@ -104,6 +111,8 @@ class Crosvm(Hypervisor):
     VCPU_THREAD_NAME = "crosvm_vcpu{index}"
     HAS_DEBUGGER_API = True
     HAS_HOTPLUG_API = False
+    # crosvm caps net multi-queue below the server VMMs.
+    VIRTIO_NET_QUEUE_PAIRS_MAX = 4
 
 
 class CloudHypervisor(Hypervisor):
@@ -114,6 +123,8 @@ class CloudHypervisor(Hypervisor):
     VIRTIO_TRANSPORT = "pci"
     HAS_DEBUGGER_API = False
     HAS_HOTPLUG_API = True
+    # Full multi-queue virtio-net, like QEMU.
+    VIRTIO_NET_QUEUE_PAIRS_MAX = 8
     # cloud-hypervisor targets x86_64 and aarch64 only (Table-1 row
     # for the new arch: unsupported VMM, like its mmio-attach row).
     SUPPORTED_ARCH_FAMILIES = frozenset({"x86_64", "arm64"})

@@ -27,7 +27,7 @@ from repro.replay.scenarios import (
 )
 from repro.replay.shrinker import shrink
 from repro.sim import rng as simrng
-from repro.sim.faults import PERMANENT, TRANSIENT, known_fault_sites
+from repro.sim.faults import PERMANENT, TRANSIENT, builtin_fault_sites
 
 #: flavor draw weights: qemu is the richest pipeline (ioregionfd,
 #: event_idx, full irqchip), so it gets the lion's share.
@@ -94,8 +94,11 @@ class AttachFuzzer:
         self.plant_bug = plant_bug
         self._log = log or (lambda _msg: None)
         # quirk sites mutate behaviour without failing the attach;
-        # everything else in the registry is a fault-injection site.
-        sites = sorted(known_fault_sites())
+        # everything else in the pool is a fault-injection site.  Only
+        # built-in sites are drawn: runtime registrations are harness
+        # hooks, and including them would tie the pinned-seed case
+        # sequence to which test modules the process imported.
+        sites = sorted(builtin_fault_sites())
         self._fault_sites = [s for s in sites if not s.startswith("quirk.")]
         self._quirk_sites = [s for s in sites if s.startswith("quirk.")]
         self._pool: List[AttachCase] = []      # coverage-novel parents

@@ -56,12 +56,17 @@ FLAVOR_ARCH: Dict[str, str] = {
 }
 
 #: hostile driver behaviours the abuse harness can exhibit post-attach
+#: (``net_*`` kinds target the boot NIC's RX/TX rings; cases carrying
+#: one launch their VM with a vmsh-net device attached)
 VIRTIO_ABUSES = (
     "desc_loop",        # descriptor chain that links back to itself
     "desc_index",       # NEXT pointing outside the descriptor table
     "zero_len",         # zero-length descriptor
     "bad_gpa",          # buffer address in unmapped guest memory
     "bogus_used_event", # garbage EVENT_IDX suppression hint
+    "net_tx_desc_loop", # self-linking descriptor on the TX ring
+    "net_tx_bad_gpa",   # TX frame buffer in unmapped guest memory
+    "net_rx_bad_dir",   # device-readable buffer posted on the RX ring
 )
 
 
@@ -159,6 +164,8 @@ def run_attach_case(
                  arch=FLAVOR_ARCH.get(case.flavor, "x86_64"))
     if on_testbed is not None:
         on_testbed(tb)
+    if case.virtio_abuse is not None and case.virtio_abuse.startswith("net_"):
+        launch_kwargs = dict(launch_kwargs, nic=True)
     hv = getattr(tb, launch_name)(**launch_kwargs)
     vmsh = tb.vmsh()
     before = state_fingerprint(tb, hv, vmsh)
@@ -226,6 +233,9 @@ def run_attach_case(
 def _virtio_abuse(hv: Any, kind: str) -> List[str]:
     """Behave like a hostile guest driver against the vmsh-blk queue.
 
+    ``net_*`` kinds dispatch to :func:`_virtio_net_abuse` — same
+    contract, against the boot NIC's RX/TX rings.
+
     Descriptors are scribbled straight into guest RAM (bypassing the
     well-behaved :class:`DriverRing` API) and the doorbell rung.  The
     device must reject the garbage with :class:`VirtioError` — anything
@@ -234,6 +244,8 @@ def _virtio_abuse(hv: Any, kind: str) -> List[str]:
     a garbage suppression hint may cost spurious interrupts, never
     correctness.
     """
+    if kind.startswith("net_"):
+        return _virtio_net_abuse(hv, kind)
     disk = getattr(hv.guest, "vmsh_block", None)
     if disk is None:
         return []
@@ -294,6 +306,84 @@ def _virtio_abuse(hv: Any, kind: str) -> List[str]:
     return violations
 
 
+def _virtio_net_abuse(hv: Any, kind: str) -> List[str]:
+    """Hostile descriptor abuse against the boot NIC's RX/TX rings.
+
+    Same contract as the blk abuses: the device must reject scribbled
+    descriptors with :class:`VirtioError` and the queue pair must keep
+    moving real frames afterwards.
+    """
+    from repro.virtio.net import make_frame
+
+    nic = getattr(hv.guest, "net_devices", {}).get("eth0")
+    device = getattr(hv, "nics", {}).get("net0")
+    if nic is None or device is None:
+        return []
+    mem = nic.kernel.memory
+    violations: List[str] = []
+
+    def write_desc(ring, index: int, addr: int, length: int,
+                   flags: int, nxt: int) -> None:
+        base = ring.desc_gpa + index * DESC_SIZE
+        mem.write_u64(base, addr)
+        mem.write_u32(base + 8, length)
+        mem.write_u16(base + 12, flags)
+        mem.write_u16(base + 14, nxt)
+
+    def publish(ring, head: int) -> None:
+        slot = ring._avail_idx % ring.size
+        mem.write_u16(ring.avail_gpa + AVAIL_HEADER + slot * 2, head)
+        ring._avail_idx = (ring._avail_idx + 1) & 0xFFFF
+        mem.write_u16(ring.avail_gpa + 2, ring._avail_idx)
+
+    received: List[bytes] = []
+    nic.on_receive(lambda frame, pair: received.append(frame))
+
+    if kind == "net_rx_bad_dir":
+        # Flip the next-to-be-used posted RX chain to device-READABLE:
+        # the device must refuse to write an inbound frame through it.
+        # (Single-descriptor chains, so head index == descriptor index.)
+        head = device.posted_heads(0)[0]
+        write_desc(nic.rx_rings[0], head, nic._rx_gpa[0],
+                   nic.RX_BUFFER_SIZE, 0, head)
+        try:
+            device.deliver(make_frame(device.mac, b"\x02" * 6, b"ping"))
+            violations.append("virtio-crash:garbage-accepted")
+        except VirtioError:
+            pass
+        except Exception as err:  # noqa: BLE001 - wrong failure mode
+            violations.append(f"virtio-crash:{type(err).__name__}")
+    else:
+        tx_ring = nic.tx_rings[0]
+        if kind == "net_tx_desc_loop":
+            write_desc(tx_ring, 0, nic._tx_gpa[0], 64, VRING_DESC_F_NEXT, 0)
+        elif kind == "net_tx_bad_gpa":
+            write_desc(tx_ring, 0, 0x7FFF_FFF0_0000, 64, 0, 0)
+        else:
+            raise RecordingError(f"unknown virtio abuse {kind!r}")
+        publish(tx_ring, 0)
+        try:
+            nic.transport.notify(1)
+            violations.append("virtio-crash:garbage-accepted")
+        except VirtioError:
+            pass                # the hardened parser rejected it: correct
+        except Exception as err:  # noqa: BLE001 - wrong failure mode
+            violations.append(f"virtio-crash:{type(err).__name__}")
+
+    # Liveness: both directions must survive the rejected garbage.
+    try:
+        before_tx = device.frames_tx
+        nic.send(make_frame(b"\xff" * 6, nic.mac, b"tx-probe"))
+        if device.frames_tx != before_tx + 1:
+            violations.append("guest-wedged:net-tx")
+        device.deliver(make_frame(device.mac, b"\x02" * 6, b"rx-probe"))
+        if not received or received[-1][12:] != b"rx-probe":
+            violations.append("guest-wedged:net-rx")
+    except Exception as err:  # noqa: BLE001 - liveness probe
+        violations.append(f"guest-wedged:{type(err).__name__}")
+    return violations
+
+
 # ---------------------------------------------------------------------------
 # Scenario registry
 # ---------------------------------------------------------------------------
@@ -335,9 +425,25 @@ def _scenario_attach(params, on_testbed, cost_params) -> ScenarioResult:
     )
 
 
+def _scenario_traffic(params, on_testbed, cost_params) -> ScenarioResult:
+    from repro.usecases.traffic import run_traffic
+
+    tb, plane = run_traffic(
+        seed=params.get("seed"),
+        functions=params.get("functions", 8),
+        shards=params.get("shards", 2),
+        requests=params.get("requests", 96),
+        mode=params.get("mode", "open"),
+        cost_params=cost_params,
+        on_testbed=on_testbed,
+    )
+    return ScenarioResult(outcome="ok", testbed=tb, extra=plane.summary())
+
+
 SCENARIOS = {
     "fleet": _scenario_fleet,
     "attach": _scenario_attach,
+    "traffic": _scenario_traffic,
 }
 
 

@@ -90,6 +90,12 @@ class CostParams:
     ssh_crypto_ns_per_msg: int = 245_000    # encrypt+decrypt+MAC, per message
     vmsh_console_hop_ns: int = 305_000      # vqueue kick -> vmsh -> pts wakeup
 
+    # vmsh-net fabric defaults (per-link; latency is a scheduler delay,
+    # serialization is frame bytes over the link rate)
+    net_link_latency_ns: int = 50_000       # one-way propagation per hop
+    net_link_bytes_per_us: int = 1_250      # 10 GbE-class link
+    guest_net_layer_ns: int = 700           # guest net-stack submit path
+
 
 class CounterView(MutableMapping):
     """``CostModel.counters`` shim: a mapping view over registry counters.
@@ -343,6 +349,10 @@ class CostModel:
 
     def net_loopback_rtt(self) -> None:
         self._charge("net_rtt", self.p.net_loopback_rtt_ns)
+
+    def guest_net_submit(self) -> None:
+        """Guest net-stack path from sendmsg to the TX virtqueue."""
+        self._charge("guest_net_submit", self.p.guest_net_layer_ns)
 
     def ssh_message(self) -> None:
         self._charge("ssh_msg", self.p.ssh_crypto_ns_per_msg)

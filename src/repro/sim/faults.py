@@ -88,6 +88,10 @@ _PTRACE_SITES = frozenset(
 _SECCOMP_SITES = frozenset({"seccomp.injected"})
 _PHYSMEM_SITES = frozenset({"physmem.read", "physmem.write"})
 _QUIRK_SITES = frozenset({"quirk.ioregionfd_missing"})
+#: virtio data-plane sites: the net device consults the host injector
+#: on every RX flush / TX drain, so chaos plans can wedge a queue pair
+#: without touching the descriptor rings themselves.
+_VIRTIO_SITES = frozenset({"virtio.net_rx_ring", "virtio.net_tx_ring"})
 _UPPER_REQUEST = re.compile(r"^[A-Z][A-Z0-9_]*$")
 _SYSCALL_NAME = re.compile(r"^[a-z_][a-z0-9_]*$")
 
@@ -107,8 +111,13 @@ def _attach_steps() -> Sequence[str]:
     return ATTACH_STEPS
 
 
-def known_fault_sites() -> FrozenSet[str]:
-    """Every exactly-enumerable site (the fuzzer's generation pool).
+def builtin_fault_sites() -> FrozenSet[str]:
+    """The built-in site families only — the fuzzer's generation pool.
+
+    Deliberately excludes runtime-registered harness sites: those are
+    process-local (whichever test modules happened to import first),
+    and drawing from them would make the fuzzer's pinned-seed case
+    sequence depend on collection order instead of the master seed.
 
     Open-ended families (``ioctl.*``, ``kvm.*``, ``syscall.*``) are
     represented by the members :data:`DEFAULT_CHAOS_SITES` names.
@@ -119,9 +128,14 @@ def known_fault_sites() -> FrozenSet[str]:
         | _SECCOMP_SITES
         | _PHYSMEM_SITES
         | _QUIRK_SITES
+        | _VIRTIO_SITES
         | set(DEFAULT_CHAOS_SITES)
-        | _registered_sites
     )
+
+
+def known_fault_sites() -> FrozenSet[str]:
+    """Every exactly-enumerable site, runtime registrations included."""
+    return builtin_fault_sites() | frozenset(_registered_sites)
 
 
 def validate_fault_site(site: str) -> None:
@@ -140,6 +154,7 @@ def validate_fault_site(site: str) -> None:
         "seccomp": lambda: site in _SECCOMP_SITES,
         "physmem": lambda: site in _PHYSMEM_SITES,
         "quirk": lambda: site in _QUIRK_SITES,
+        "virtio": lambda: site in _VIRTIO_SITES,
         "ioctl": lambda: bool(_UPPER_REQUEST.match(member)),
         "kvm": lambda: bool(_UPPER_REQUEST.match(member)),
         "syscall": lambda: bool(_SYSCALL_NAME.match(member)),

@@ -86,6 +86,24 @@ class Testbed:
         #: simulated hosts sharing this testbed's clock/scheduler/obs —
         #: migration targets.  Maps each HostKernel to its KvmSystem.
         self.hosts: Dict[HostKernel, KvmSystem] = {self.host: self.kvm}
+        #: lazily-created shared network fabric (see :meth:`fabric`)
+        self._fabric = None
+
+    # -- networking --------------------------------------------------------------
+
+    def fabric(self, **kwargs):
+        """The testbed's shared :class:`~repro.sim.netfab.NetFabric`.
+
+        Created on first use (keyword overrides apply then); every VM
+        NIC and host-side port attaches to the same star switch.
+        """
+        if self._fabric is None:
+            from repro.sim.netfab import NetFabric
+
+            self._fabric = NetFabric(
+                self.scheduler, self.costs, master_seed=self._seed, **kwargs
+            )
+        return self._fabric
 
     # -- storage -----------------------------------------------------------------
 
@@ -110,6 +128,8 @@ class Testbed:
         disk: Optional[HostFile] = None,
         root_files: Optional[Dict[str, Optional[bytes]]] = None,
         host: Optional[HostKernel] = None,
+        nic: bool = False,
+        nic_queue_pairs: int = 1,
         **kwargs,
     ) -> Hypervisor:
         """Boot a VM; ``host`` places it on an :meth:`add_host` machine
@@ -133,6 +153,9 @@ class Testbed:
         )
         if disk is not None:
             hv.add_disk(disk)
+        if nic:
+            port = self.fabric().attach(f"{cls.NAME}-nic")
+            hv.add_nic(port, queue_pairs=nic_queue_pairs)
         hv.launch()
         return hv
 

@@ -79,6 +79,8 @@ class FleetControlPlane:
         max_inflight_per_shard: Optional[int] = None,
         balance: bool = False,
         record_latency: bool = True,
+        nic: bool = False,
+        nic_queue_pairs: int = 1,
     ) -> None:
         if shards < 1:
             raise VmshError("a fleet needs at least one shard")
@@ -110,6 +112,8 @@ class FleetControlPlane:
                 host=host,
                 log_level=log_level,
                 indexed=indexed,
+                nic=nic,
+                nic_queue_pairs=nic_queue_pairs,
             )
             self.shards.append(
                 FleetShard(index, host, platform,
@@ -243,6 +247,75 @@ class FleetControlPlane:
             self.latencies_ns.append(clock._now - t0)
         return result
 
+    def invoke_over_task(self, name: str, execute):
+        """Cooperative invocation with a delegated execution leg.
+
+        Same admission control, placement, cold/restore/route charges,
+        mid-flight-termination retries and latency accounting as
+        :meth:`invoke_task` — but instead of running the handler inline
+        at the control plane, ``execute(shard, instance)`` (a generator
+        function) performs the execution.  The traffic plane uses this
+        to push the request over the net fabric to the instance's NIC
+        and park until the response frame makes it back, so queueing,
+        serialization and noisy neighbors land in the recorded latency.
+        """
+        shard = self.shard_for(name)
+        clock = self._clock
+        t0 = clock._now
+        if shard.saturated:
+            shard.m_throttled.inc()
+            gate = Completion()
+            shard.waiters.append(gate)
+            yield gate              # woken holding the handed-off slot
+        else:
+            shard.inflight += 1
+        try:
+            platform = shard.platform
+            costs = self._costs
+            retries = 0
+            while True:
+                instance, kind = platform._instance_for(name)
+                instance.last_used_ns = clock._now
+                if kind == "cold":
+                    costs.bump("faas_cold_start")
+                    yield costs.p.faas_cold_start_ns
+                elif kind == "restore":
+                    costs.bump("faas_snapshot_restore")
+                    yield costs.p.faas_snapshot_restore_ns
+                if not instance.terminated:
+                    self._m_route.value += 1
+                    yield self._route_ns
+                if instance.terminated:
+                    retries += 1
+                    costs.bump("faas_invoke_retry")
+                    if retries > platform.MAX_INVOKE_RETRIES:
+                        platform._log(
+                            instance, "ERROR",
+                            f"gave up invoking {name} after {retries - 1} "
+                            "mid-invoke terminations",
+                        )
+                        result = None
+                        break
+                    platform._log(
+                        instance, "WARN",
+                        f"instance terminated mid-invoke; retrying {name} "
+                        f"({retries}/{platform.MAX_INVOKE_RETRIES})",
+                    )
+                    continue
+                instance.last_used_ns = clock._now
+                result = yield from execute(shard, instance)
+                break
+        finally:
+            waiters = shard.waiters
+            if waiters:
+                waiters.popleft().set()   # slot handoff, FIFO
+            else:
+                shard.inflight -= 1
+        shard.m_invocations.inc()
+        if self.record_latency:
+            self.latencies_ns.append(clock._now - t0)
+        return result
+
     # -- fleet control loops -----------------------------------------------
 
     def start_autoscalers(self, scheduler: Scheduler,
@@ -297,5 +370,6 @@ class FleetControlPlane:
             "p90": rank(0.90),
             "p95": rank(0.95),
             "p99": rank(0.99),
+            "p999": rank(0.999),
             "max": ordered[-1],
         }

@@ -70,8 +70,20 @@ class VHivePlatform:
 
     def __init__(self, testbed: Testbed, snapshot_pool: bool = False,
                  host: Optional[object] = None, log_level: str = "INFO",
-                 indexed: bool = True):
+                 indexed: bool = True, nic: bool = False,
+                 nic_queue_pairs: int = 1):
         self.testbed = testbed
+        #: give every cold-booted microVM a virtio-net NIC on the
+        #: testbed's shared fabric — the traffic plane's data path.
+        #: Snapshot-pool restores clone the frozen (NIC-less) VM graph;
+        #: callers that need the network fall back to front-door
+        #: execution for those (see ``usecases/traffic.py``).
+        self.nic = nic
+        self.nic_queue_pairs = nic_queue_pairs
+        #: hook fired for every instance the platform brings up (cold
+        #: or restored), after the VM is live and registered — the
+        #: traffic plane binds its per-guest request server here.
+        self.on_instance: Optional[Callable[[LambdaInstance], None]] = None
         #: opt-in: bake a VmSnapshot on the first cold boot of each
         #: function and serve later cold invocations by restoring it
         #: (``faas_snapshot_restore_ns``) instead of booting
@@ -231,7 +243,10 @@ class VHivePlatform:
         else:
             # Cold start: boot a slim Firecracker microVM for the
             # function, and install the lambda handler's process.
-            hv = self.testbed.launch_firecracker(seccomp=False, host=self.host)
+            hv = self.testbed.launch_firecracker(
+                seccomp=False, host=self.host,
+                nic=self.nic, nic_queue_pairs=self.nic_queue_pairs,
+            )
             lambda_proc = GuestProcess(
                 f"lambda-{name}",
                 hv.guest.root_ns,
@@ -262,6 +277,8 @@ class VHivePlatform:
                 # (charges the capture walk once, on the cold path).
                 self.testbed.costs.bump("faas_pool_miss")
                 self._pool[name] = self.testbed.snapshot(hv)
+        if self.on_instance is not None:
+            self.on_instance(instance)
         return instance, kind
 
     def _log(self, instance: LambdaInstance, level: str, message: str) -> None:

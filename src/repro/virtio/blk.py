@@ -24,8 +24,9 @@ from repro.host.process import Thread
 from repro.sim.costs import CostModel
 from repro.units import SECTOR_SIZE
 from repro.virtio import constants as C
+from repro.virtio.core import QueuedWindowDriver, VirtioDeviceCore
 from repro.virtio.memio import GuestMemoryAccessor
-from repro.virtio.mmio import GuestVirtioTransport, VirtioMmioDevice
+from repro.virtio.mmio import GuestVirtioTransport
 
 BLK_HEADER_SIZE = 16
 
@@ -144,7 +145,7 @@ def blk_config_space(capacity_sectors: int) -> bytes:
     return struct.pack("<Q", capacity_sectors)
 
 
-class VirtioBlkDevice(VirtioMmioDevice):
+class VirtioBlkDevice(VirtioDeviceCore):
     """The virtio-blk device-side implementation (request queue 0)."""
 
     QUEUE_COUNT = 1
@@ -169,14 +170,6 @@ class VirtioBlkDevice(VirtioMmioDevice):
         )
         self.backend = backend
         self.requests_served = 0
-        obs = getattr(costs, "obs", None)
-        if obs is not None:
-            scope = obs.metrics.scope("virtio", device=self.name)
-            self._m_batch_depth = scope.histogram("batch_depth")
-            self._m_requests = scope.counter("requests")
-        else:
-            self._m_batch_depth = None
-            self._m_requests = None
 
     def process_queue(self, index: int) -> None:
         if index != 0:
@@ -185,13 +178,7 @@ class VirtioBlkDevice(VirtioMmioDevice):
         heads = ring.pop_available()
         if not heads:
             return
-        obs = getattr(self.costs, "obs", None)
-        batch_span = None
-        if obs is not None:
-            batch_span = obs.spans.begin(
-                "blk.batch", track=f"dev:{self.name}",
-                queue=index, depth=len(heads),
-            )
+        batch_span = self.begin_batch_span("blk.batch", index, len(heads))
         table = ring.read_table()
         batch = []
         for head in heads:
@@ -201,20 +188,7 @@ class VirtioBlkDevice(VirtioMmioDevice):
         # All completions of one notification window are published with
         # a single scattered write; under EVENT_IDX the ring decides
         # whether the driver asked to be interrupted for this batch.
-        self.costs.virtio_batch("blk", len(batch))
-        if self._m_batch_depth is not None:
-            self._m_batch_depth.observe(len(batch))
-            self._m_requests.inc(len(batch))
-        if ring.push_used_batch(batch):
-            if len(batch) > 1:
-                self.costs.virtio_irq_coalesced(len(batch) - 1)
-            if batch_span is not None:
-                obs.spans.end(batch_span, interrupt="delivered")
-            self.raise_interrupt()
-        else:
-            self.costs.virtio_irq_suppressed()
-            if batch_span is not None:
-                obs.spans.end(batch_span, interrupt="suppressed")
+        self.publish_batch(0, batch, "blk", span=batch_span)
 
     def _service_request(self, head: int, table: bytes) -> int:
         ring = self._ring(0)
@@ -318,6 +292,23 @@ class GuestVirtioBlkDisk(BlockDevice):
             ).counter("windows")
         else:
             self._m_windows = None
+        # The shared driver-side engine owns doorbells, window posting
+        # and harvesting; blk contributes the request encoding and the
+        # status/data read-back as closures.
+        self._engine = QueuedWindowDriver(
+            ring=self.ring,
+            transport=transport,
+            queue_index=0,
+            name=name,
+            costs=costs,
+            obs=self._obs,
+            span_name="blk.window",
+            track=f"blk:{name}",
+            windows_counter=self._m_windows,
+            per_chain_cost=(
+                costs.guest_block_submit if costs is not None else None
+            ),
+        )
 
     @property
     def capacity_sectors(self) -> int:
@@ -416,11 +407,7 @@ class GuestVirtioBlkDisk(BlockDevice):
 
     def _kick(self) -> None:
         """Ring the doorbell unless the device is known to be looking."""
-        if self.ring.kick_prepare():
-            self.transport.notify(0)
-        elif self.kernel.costs is not None:
-            self.kernel.costs.virtio_kick_suppressed()
-        self.ring.note_kick()
+        self._engine.kick()
 
     def _submit(self, buffers) -> None:
         if self.kernel.costs is not None:
@@ -477,75 +464,21 @@ class GuestVirtioBlkDisk(BlockDevice):
             ops.append((C.VIRTIO_BLK_T_OUT, sector, len(data), data))
         yield from self._run_queued_task(ops)
 
-    def _run_queued(self, ops) -> List[bytes]:
-        depth = self.iodepth
-        slot_bytes = (self._data_pool_bytes // depth) & ~4095
-        results: List[bytes] = [b""] * len(ops)
-        for start in range(0, len(ops), depth):
-            self._submit_window(ops, start, ops[start : start + depth],
-                                slot_bytes, results)
-        return results
+    def _window_closures(self, ops):
+        """Bind one queued run's ops to DMA slots and a results list.
 
-    def _run_queued_task(self, ops):
-        depth = self.iodepth
-        slot_bytes = (self._data_pool_bytes // depth) & ~4095
-        results: List[bytes] = [b""] * len(ops)
-        for start in range(0, len(ops), depth):
-            window = ops[start : start + depth]
-            # begin/end rather than the context manager: the span must
-            # survive the scheduler yields between submit and harvest.
-            win_span = None
-            if self._obs is not None:
-                win_span = self._obs.spans.begin(
-                    "blk.window", track=f"blk:{self.name}",
-                    start=start, depth=len(window),
-                )
-                self._m_windows.inc()
-            inflight = self._post_window(start, window, slot_bytes)
-            waits = 0
-            while inflight:
-                self._harvest(self.ring.collect_used(), inflight, results)
-                if inflight:
-                    # The device host's service task has not reached
-                    # this queue yet; let other events run.
-                    waits += 1
-                    yield f"{self.name}:harvest"
-            if win_span is not None:
-                self._obs.spans.end(win_span, waits=waits)
-        return results
-
-    def _submit_window(self, ops, start, window, slot_bytes, results) -> None:
-        """Submit one in-flight window, kick, then harvest it whole."""
-        win_span = None
-        if self._obs is not None:
-            win_span = self._obs.spans.begin(
-                "blk.window", track=f"blk:{self.name}",
-                start=start, depth=len(window),
-            )
-            self._m_windows.inc()
-        inflight = self._post_window(start, window, slot_bytes)
-        self._harvest(self.ring.collect_used(), inflight, results)
-        if win_span is not None:
-            self._obs.spans.end(win_span, waits=0)
-        if inflight:
-            raise VirtioError(
-                f"{self.name}: {len(inflight)} queued request(s) did not complete"
-            )
-
-    def _post_window(self, start, window, slot_bytes) -> dict:
-        """Submit one in-flight window and kick.
-
-        Without EVENT_IDX the driver must assume the device only looks
-        at the queue when kicked, so every chain rings the doorbell (the
-        device never publishes ``VRING_USED_F_NO_NOTIFY``).  With
-        EVENT_IDX the window's doorbells collapse into one: the driver
-        raises ``used_event`` to the window's last completion before
-        kicking, so the device also coalesces the completion interrupt.
+        The shared :class:`QueuedWindowDriver` drives doorbells and
+        harvesting; these closures contribute the virtio-blk request
+        encoding (header + per-page data descriptors + status byte)
+        and the status/data read-back.
         """
-        costs = self.kernel.costs
+        depth = self.iodepth
+        slot_bytes = (self._data_pool_bytes // depth) & ~4095
+        results: List[bytes] = [b""] * len(ops)
         memory = self.kernel.memory
-        inflight = {}
-        for at, (req_type, sector, nbytes, payload) in enumerate(window):
+
+        def prepare(start, at, op):
+            req_type, sector, nbytes, payload = op
             if nbytes > slot_bytes:
                 raise VirtioError(
                     f"{self.name}: {nbytes}-byte request exceeds the "
@@ -564,32 +497,25 @@ class GuestVirtioBlkDisk(BlockDevice):
                 for gpa, length in self._data_segments(nbytes, data_gpa)
             ]
             buffers.append((status_gpa, 1, True))
-            if costs is not None:
-                costs.guest_block_submit()
-            head = self.ring.add_chain(buffers)
-            inflight[head] = (start + at, status_gpa, data_gpa, nbytes, writable)
-            if not self.ring.event_idx:
-                self._kick()
-        if self.ring.event_idx:
-            self.ring.set_used_event(
-                (self.ring.last_used + len(window) - 1) & 0xFFFF
-            )
-            self._kick()
-            if costs is not None and len(window) > 1:
-                # Doorbells the in-flight window deferred into one kick.
-                costs.virtio_kick_suppressed(len(window) - 1)
-        return inflight
+            return buffers, (start + at, status_gpa, data_gpa, nbytes, writable)
 
-    def _harvest(self, completions, inflight, results) -> None:
-        memory = self.kernel.memory
-        for head, _written in completions:
-            entry = inflight.pop(head, None)
-            if entry is None:
-                raise VirtioError(f"{self.name}: spurious completion {head}")
-            index, status_gpa, data_gpa, nbytes, writable = entry
+        def consume(token, _written):
+            index, status_gpa, data_gpa, nbytes, writable = token
             self._check_status(status_gpa)
             if writable:
                 results[index] = memory.read(data_gpa, nbytes)
+
+        return depth, prepare, consume, results
+
+    def _run_queued(self, ops) -> List[bytes]:
+        depth, prepare, consume, results = self._window_closures(ops)
+        self._engine.run_queued(ops, depth, prepare, consume)
+        return results
+
+    def _run_queued_task(self, ops):
+        depth, prepare, consume, results = self._window_closures(ops)
+        yield from self._engine.run_queued_task(ops, depth, prepare, consume)
+        return results
 
     def _check_status(self, status_gpa: int) -> None:
         status = self.kernel.memory.read(status_gpa, 1)[0]

@@ -13,8 +13,9 @@ from typing import Callable, List, Optional, Tuple
 from repro.errors import VirtioError
 from repro.sim.costs import CostModel
 from repro.virtio import constants as C
+from repro.virtio.core import VirtioDeviceCore
 from repro.virtio.memio import GuestMemoryAccessor
-from repro.virtio.mmio import GuestVirtioTransport, VirtioMmioDevice
+from repro.virtio.mmio import GuestVirtioTransport
 
 RX_QUEUE = 0
 TX_QUEUE = 1
@@ -55,7 +56,7 @@ class Pts:
         self.output.append(data)
 
 
-class VirtioConsoleDevice(VirtioMmioDevice):
+class VirtioConsoleDevice(VirtioDeviceCore):
     """Device side of the VMSH console."""
 
     QUEUE_COUNT = 2
@@ -80,8 +81,9 @@ class VirtioConsoleDevice(VirtioMmioDevice):
         )
         self.pts = pts
         pts.connect_device(self.host_input)
-        # RX buffers posted by the guest, waiting for host input.
-        self._posted_rx: List[int] = []
+        # RX buffers posted by the guest, waiting for host input (the
+        # core's posted list for the RX queue, aliased for clarity).
+        self._posted_rx = self.posted_heads(RX_QUEUE)
         self._pending_input: List[bytes] = []
 
     # -- queue processing ---------------------------------------------------------------
@@ -90,8 +92,7 @@ class VirtioConsoleDevice(VirtioMmioDevice):
         if index == TX_QUEUE:
             self._drain_tx()
         elif index == RX_QUEUE:
-            ring = self._ring(RX_QUEUE)
-            self._posted_rx.extend(ring.pop_available())
+            self.absorb_posted(RX_QUEUE)
             self._flush_pending_input()
         else:
             raise VirtioError(f"{self.name}: notify for unknown queue {index}")
@@ -109,15 +110,10 @@ class VirtioConsoleDevice(VirtioMmioDevice):
                 self.mem.read_vectored([(d.addr, d.length) for d in chain])
             )
             batch.append((head, 0))
-        if batch:
-            self.costs.virtio_batch("console_tx", len(batch))
-            self.costs.vmsh_console_hop()
-            if ring.push_used_batch(batch):
-                if len(batch) > 1:
-                    self.costs.virtio_irq_coalesced(len(batch) - 1)
-                self.raise_interrupt()
-            else:
-                self.costs.virtio_irq_suppressed()
+        self.publish_batch(
+            TX_QUEUE, batch, "console_tx",
+            before_publish=self.costs.vmsh_console_hop,
+        )
 
     # -- host input path ------------------------------------------------------------------
 
@@ -130,7 +126,7 @@ class VirtioConsoleDevice(VirtioMmioDevice):
         if not self.queues[RX_QUEUE].ready:
             return
         ring = self._ring(RX_QUEUE)
-        self._posted_rx.extend(ring.pop_available())
+        self.absorb_posted(RX_QUEUE)
         batch = []
         while self._pending_input and self._posted_rx:
             data = self._pending_input.pop(0)
@@ -154,15 +150,10 @@ class VirtioConsoleDevice(VirtioMmioDevice):
             # One scattered copy for the whole chain.
             self.mem.write_vectored(iov)
             batch.append((head, written))
-        if batch:
-            self.costs.virtio_batch("console_rx", len(batch))
-            self.costs.vmsh_console_hop()
-            if ring.push_used_batch(batch):
-                if len(batch) > 1:
-                    self.costs.virtio_irq_coalesced(len(batch) - 1)
-                self.raise_interrupt()
-            else:
-                self.costs.virtio_irq_suppressed()
+        self.publish_batch(
+            RX_QUEUE, batch, "console_rx",
+            before_publish=self.costs.vmsh_console_hop,
+        )
 
 
 class GuestVirtioConsole:
@@ -185,6 +176,20 @@ class GuestVirtioConsole:
         self._tx_buffer_gpa = guest_kernel.alloc_guest_pages(1)
         self._rx_chains: dict = {}
         self._input_sink: Optional[Callable[[bytes], None]] = None
+        # Queued-submission counters, mirroring what the blk driver
+        # reports: doorbell rings, coalesced completions per interrupt,
+        # and the per-harvest batch-depth distribution.
+        costs = guest_kernel.costs
+        obs = costs.obs if costs is not None else None
+        if obs is not None:
+            scope = obs.metrics.scope("console", role="driver", device=name)
+            self._m_kicks = scope.counter("kicks")
+            self._m_irq_coalesced = scope.counter("irq_coalesced")
+            self._m_batch_depth = scope.histogram("batch_depth")
+        else:
+            self._m_kicks = None
+            self._m_irq_coalesced = None
+            self._m_batch_depth = None
         guest_kernel.register_irq(transport.irq_gsi, self._on_irq)
         self._post_rx_buffers()
 
@@ -198,6 +203,8 @@ class GuestVirtioConsole:
             raise VirtioError("console TX larger than one buffer")
         self.kernel.memory.write(self._tx_buffer_gpa, data)
         self.tx_ring.add_chain([(self._tx_buffer_gpa, len(data), False)])
+        if self._m_kicks is not None:
+            self._m_kicks.inc()
         self.transport.notify(TX_QUEUE)
         self.tx_ring.collect_used()
 
@@ -208,11 +215,18 @@ class GuestVirtioConsole:
             gpa = self._rx_buffers_gpa + i * self.RX_BUFFER_SIZE
             head = self.rx_ring.add_chain([(gpa, self.RX_BUFFER_SIZE, True)])
             self._rx_chains[head] = gpa
+        if self._m_kicks is not None:
+            self._m_kicks.inc()
         self.transport.notify(RX_QUEUE)
 
     def _on_irq(self, gsi: int) -> None:
         self.transport.ack_interrupt()
-        for head, written in self.rx_ring.collect_used():
+        completions = self.rx_ring.collect_used()
+        if completions and self._m_batch_depth is not None:
+            self._m_batch_depth.observe(len(completions))
+            if len(completions) > 1:
+                self._m_irq_coalesced.inc(len(completions) - 1)
+        for head, written in completions:
             gpa = self._rx_chains.pop(head)
             data = self.kernel.memory.read(gpa, written)
             new_head = self.rx_ring.add_chain([(gpa, self.RX_BUFFER_SIZE, True)])

@@ -57,6 +57,19 @@ VRING_DESC_F_WRITE = 2      # device-writable buffer
 VRING_AVAIL_F_NO_INTERRUPT = 1
 VRING_USED_F_NO_NOTIFY = 1
 
+# virtio-net feature bits (VirtIO 1.1 §5.1.3)
+VIRTIO_NET_F_MAC = 1 << 5
+VIRTIO_NET_F_STATUS = 1 << 16
+VIRTIO_NET_F_MQ = 1 << 22
+
+# virtio-net header prepended to every frame (§5.1.6; the modern
+# 12-byte form — flags/gso_type/hdr_len/gso_size/csum_start/
+# csum_offset/num_buffers, all zero in the simulation)
+VIRTIO_NET_HDR_SIZE = 12
+
+# virtio-net status word
+VIRTIO_NET_S_LINK_UP = 1
+
 # virtio-blk request types
 VIRTIO_BLK_T_IN = 0         # read
 VIRTIO_BLK_T_OUT = 1        # write

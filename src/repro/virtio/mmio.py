@@ -262,8 +262,13 @@ class GuestVirtioTransport:
         device_id = self.read32(C.REG_DEVICE_ID)
         return device_id or None
 
-    def initialize(self) -> None:
-        """Status negotiation up to FEATURES_OK."""
+    def initialize(self, extra_features: int = 0) -> None:
+        """Status negotiation up to FEATURES_OK.
+
+        ``extra_features`` adds device-class bits the calling driver
+        understands (e.g. virtio-net's MAC/MQ) to the transport-level
+        wanted set; as always, only bits the device offered are acked.
+        """
         self.write32(C.REG_STATUS, C.STATUS_ACKNOWLEDGE)
         self.write32(
             C.REG_STATUS, C.STATUS_ACKNOWLEDGE | C.STATUS_DRIVER
@@ -272,6 +277,7 @@ class GuestVirtioTransport:
         # Ack what the driver understands; a device that does not offer
         # EVENT_IDX (quirky VMMs, Table 1) falls back to always-notify.
         wanted = C.VIRTIO_F_VERSION_1 | C.VIRTIO_RING_F_EVENT_IDX
+        wanted |= extra_features
         self.features = features & wanted
         self.write32(C.REG_DRIVER_FEATURES, self.features)
         self.write32(

@@ -25,8 +25,9 @@ from typing import Callable, List, Optional
 
 from repro.errors import VirtioError
 from repro.sim.costs import CostModel
+from repro.virtio.core import VirtioDeviceCore
 from repro.virtio.memio import GuestMemoryAccessor
-from repro.virtio.mmio import GuestVirtioTransport, VirtioMmioDevice
+from repro.virtio.mmio import GuestVirtioTransport
 
 #: device id in the experimental range (not a standardised VirtIO id)
 DEVICE_ID_VMEXEC = 42
@@ -85,7 +86,7 @@ class ExecResult:
         return self.exit_code == 0
 
 
-class VmExecDevice(VirtioMmioDevice):
+class VmExecDevice(VirtioDeviceCore):
     """Host side: submit argv, collect the response."""
 
     QUEUE_COUNT = 2
@@ -109,15 +110,16 @@ class VmExecDevice(VirtioMmioDevice):
             # in plain always-notify mode.
             offer_event_idx=False,
         )
-        self._posted_requests: List[int] = []
+        # Request buffers posted by the guest agent (the core's posted
+        # list for the request queue, aliased for clarity).
+        self._posted_requests = self.posted_heads(REQUEST_QUEUE)
         self._responses: List[ExecResult] = []
 
     # -- queue handling --------------------------------------------------------
 
     def process_queue(self, index: int) -> None:
         if index == REQUEST_QUEUE:
-            ring = self._ring(REQUEST_QUEUE)
-            self._posted_requests.extend(ring.pop_available())
+            self.absorb_posted(REQUEST_QUEUE)
         elif index == RESPONSE_QUEUE:
             ring = self._ring(RESPONSE_QUEUE)
             table = ring.read_table()
@@ -139,7 +141,7 @@ class VmExecDevice(VirtioMmioDevice):
         ring = self._ring(REQUEST_QUEUE)
         # The driver re-posts buffers without a doorbell (it knows the
         # device polls the avail ring on demand).
-        self._posted_requests.extend(ring.pop_available())
+        self.absorb_posted(REQUEST_QUEUE)
         if not self._posted_requests:
             raise VirtioError(
                 f"{self.name}: guest has no posted request buffers"

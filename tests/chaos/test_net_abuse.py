@@ -1,0 +1,122 @@
+"""Hostile-driver abuse and fault injection against vmsh-net.
+
+The net device rides the same shared virtio core as blk/console, so it
+inherits the same contract the blk abuses pin: scribbled descriptors
+must be rejected with :class:`VirtioError` and the queue pair must
+keep moving real frames afterwards.  These are the pinned-seed smoke
+cases for the ``net_*`` members of the fuzzer's abuse pool, plus the
+``virtio.net_{rx,tx}_ring`` fault sites the data plane consults.
+"""
+
+import pytest
+
+from repro.errors import PermanentFaultError, TransientFaultError
+from repro.replay.fuzzer import AttachFuzzer
+from repro.replay.scenarios import VIRTIO_ABUSES, AttachCase, run_attach_case
+from repro.sim import rng as simrng
+from repro.sim.faults import (
+    PERMANENT,
+    TRANSIENT,
+    FaultPlan,
+    FaultSpec,
+    known_fault_sites,
+    validate_fault_site,
+)
+from repro.testbed import Testbed
+from repro.virtio.net import make_frame
+
+from .conftest import MASTER_SEED
+
+NET_ABUSES = ("net_tx_desc_loop", "net_tx_bad_gpa", "net_rx_bad_dir")
+
+#: one multi-pair row and the single-pair/no-EVENT_IDX row — the two
+#: device shapes the abuse helpers must survive on.
+FLAVOR_ROWS = ("qemu", "kvmtool")
+
+
+def test_net_abuses_are_in_the_fuzzer_pool():
+    for kind in NET_ABUSES:
+        assert kind in VIRTIO_ABUSES
+
+
+@pytest.mark.parametrize("kind", NET_ABUSES)
+@pytest.mark.parametrize("flavor", FLAVOR_ROWS)
+def test_net_abuse_rejected_and_pair_stays_live(kind, flavor):
+    case = AttachCase(seed=MASTER_SEED, flavor=flavor, virtio_abuse=kind)
+    result = run_attach_case(case)
+    assert result.outcome == "attached"
+    assert result.violations == []
+    # the data plane leaves path-shaped coverage behind
+    assert any(k.startswith("ctr:vring.") for k in result.coverage)
+
+
+def test_pinned_seed_sequence_draws_a_net_abuse():
+    """The fuzz smoke budget (80 cases) must exercise the net pool:
+    if reweighting ever starves the ``net_*`` kinds out of the pinned
+    sequence, this canary fails before the smoke run silently loses
+    the coverage."""
+    fuzzer = AttachFuzzer(master_seed=MASTER_SEED)
+    kinds = {
+        fuzzer.generate(
+            simrng.stream(f"fuzz:case:{i}", MASTER_SEED)
+        ).virtio_abuse
+        for i in range(80)
+    }
+    assert kinds & set(NET_ABUSES), kinds
+
+
+def test_virtio_fault_sites_are_registered():
+    sites = known_fault_sites()
+    assert "virtio.net_rx_ring" in sites
+    assert "virtio.net_tx_ring" in sites
+    validate_fault_site("virtio.net_tx_ring")
+    with pytest.raises(Exception):
+        validate_fault_site("virtio.net_bogus_ring")
+
+
+def test_tx_ring_fault_fires_and_pair_recovers():
+    tb = Testbed(seed=MASTER_SEED)
+    hv = tb.launch_qemu(nic=True)
+    nic = hv.guest.net_devices["eth0"]
+    device = hv.nics["net0"]
+    tb.host.faults.arm(
+        FaultPlan(
+            [FaultSpec("virtio.net_tx_ring", kind=PERMANENT)],
+            label="chaos:net-tx",
+        )
+    )
+    with pytest.raises(PermanentFaultError):
+        nic.send(make_frame(b"\xff" * 6, nic.mac, b"wedged"))
+    assert device.frames_tx == 0
+    tb.host.faults.disarm()
+    # Recovery from a faulted kick: the frame is still sitting in the
+    # avail ring, so re-kick the device and harvest the stale
+    # completion before the engine runs again.
+    nic.transport.notify(1)
+    assert device.frames_tx == 1
+    nic.tx_rings[0].collect_used()
+    nic.send(make_frame(b"\xff" * 6, nic.mac, b"after"))
+    assert device.frames_tx == 2
+
+
+def test_rx_ring_fault_fires_and_pair_recovers():
+    tb = Testbed(seed=MASTER_SEED)
+    hv = tb.launch_qemu(nic=True)
+    nic = hv.guest.net_devices["eth0"]
+    device = hv.nics["net0"]
+    received = []
+    nic.on_receive(lambda frame, pair: received.append(frame))
+    peer = b"\x02" * 6
+    tb.host.faults.arm(
+        FaultPlan(
+            [FaultSpec("virtio.net_rx_ring", kind=TRANSIENT)],
+            label="chaos:net-rx",
+        )
+    )
+    with pytest.raises(TransientFaultError):
+        device.deliver(make_frame(device.mac, peer, b"dropped"))
+    tb.host.faults.disarm()
+    # Transient wedge: the queued frame flushes with the next delivery.
+    device.deliver(make_frame(device.mac, peer, b"second"))
+    assert [f[12:] for f in received] == [b"dropped", b"second"]
+    assert device.frames_rx == 2

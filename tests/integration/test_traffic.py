@@ -1,0 +1,108 @@
+"""End-to-end serverless traffic over vmsh-net (PR 10 acceptance).
+
+Eight functions on a two-shard fleet serve real request/response
+frames through the fabric, while a debug shell attaches mid-traffic,
+a second attach is killed by an armed fault plan and rolled back, and
+a noisy neighbor floods a victim's ingress — all inside one
+deterministic simulation.
+"""
+
+import pytest
+
+from repro.sim.rng import MASTER_SEED
+from repro.usecases.traffic import TrafficPlane, run_traffic
+
+
+@pytest.fixture(scope="module")
+def traffic_run():
+    return run_traffic(seed=MASTER_SEED, requests=120)
+
+
+def test_every_request_completes_over_the_fabric(traffic_run):
+    tb, plane = traffic_run
+    s = plane.summary()
+    assert s["requests"] == 120
+    assert s["completed"] == 120
+    assert s["timeouts"] == 0
+    # every request/response crossed the fabric, not the front door
+    assert s["front_door"] == 0
+    assert s["fabric_delivered"] >= 2 * 120
+
+
+def test_at_least_eight_vms_serve(traffic_run):
+    tb, plane = traffic_run
+    assert plane.servers_installed >= 8
+    live = [
+        inst
+        for shard in plane.fleet.shards
+        for inst in shard.platform._instances.values()
+        if getattr(inst, "traffic_server", False)
+    ]
+    assert len(live) >= 8
+
+
+def test_mid_traffic_attach_and_rollback_both_ran(traffic_run):
+    tb, plane = traffic_run
+    assert "attached" in plane.attach_log
+    assert "detached" in plane.attach_log
+    assert any(e.startswith("rolled-back:") for e in plane.attach_log)
+
+
+def test_noisy_neighbor_flood_is_absorbed_as_junk(traffic_run):
+    tb, plane = traffic_run
+    assert plane.flood_frames > 0
+    assert plane.junk_frames == plane.flood_frames
+    # the flood cost the victim time but no request was lost to it
+    assert plane.summary()["completed"] == 120
+
+
+def test_latency_histogram_shape(traffic_run):
+    tb, plane = traffic_run
+    lat = plane.percentiles()
+    assert set(lat) == {"p50", "p90", "p99", "p999", "max"}
+    assert 0 < lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["p999"] <= lat["max"]
+    # cold starts put a long tail above the warm median
+    assert lat["p99"] > 5 * lat["p50"]
+
+
+def test_closed_loop_mode_completes_all_requests():
+    tb, plane = run_traffic(seed=MASTER_SEED, requests=64, mode="closed",
+                            workers=8)
+    s = plane.summary()
+    assert s["completed"] == 64
+    assert s["front_door"] == 0
+    assert plane.servers_installed >= 8
+
+
+def test_fabric_drops_surface_as_timeouts():
+    tb, plane = run_traffic(seed=MASTER_SEED, requests=80, mode="closed",
+                            chaos=(), drop_rate=0.03)
+    s = plane.summary()
+    assert s["fabric_dropped"] > 0
+    assert s["timeouts"] > 0
+    assert s["completed"] + s["timeouts"] == 80
+    # timed-out requests stay out of the latency distribution
+    assert len(plane.latencies_ns) == s["completed"]
+
+
+def test_front_door_fallback_for_serverless_restores():
+    """Instances restored from the snapshot pool have no NIC in their
+    cloned VM graph: the plane falls back to front-door execution
+    rather than stalling the request."""
+    tb, plane = run_traffic(seed=MASTER_SEED, requests=40, mode="closed",
+                            chaos=())
+
+    class NiclessInstance:
+        instance_id = "inst-restored"
+        terminated = False
+        last_used_ns = 0
+        hypervisor = None
+        traffic_server = False
+
+    gen = plane._net_execute("fn-0", {"i": 1})(
+        plane.fleet.shards[0], NiclessInstance()
+    )
+    with pytest.raises(StopIteration) as stop:
+        next(gen)
+    assert stop.value.value is not None
+    assert plane.front_door == 1
